@@ -1,0 +1,21 @@
+"""Shared fixtures for the FVN benchmark harness.
+
+Every benchmark prints the rows it reproduces (the paper's claims) with a
+``[E*]`` tag so the harness output can be diffed against EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def report(experiment: str, lines):
+    """Print a tagged experiment report (kept visible with ``-s`` or in the
+    captured output section of the benchmark run)."""
+
+    print(f"\n[{experiment}]")
+    for line in lines if not isinstance(lines, str) else [lines]:
+        print(f"[{experiment}] {line}")
+
+
+@pytest.fixture
+def experiment_report():
+    return report

@@ -1,0 +1,68 @@
+"""E1 — route optimality (`bestPathStrong`) proof effort (paper §3.1).
+
+Paper claims: the theorem takes 7 proof steps interactively, PVS needs only a
+fraction of a second, and the proof covers all network instances.  The bench
+measures the interactive replay, the fully automated proof, and the NDlog →
+logic compilation feeding them.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.fvn.ndlog_to_logic import program_to_theory
+from repro.fvn.properties import route_optimality, route_optimality_weak
+from repro.fvn.verification import VerificationManager
+from repro.protocols.pathvector import path_vector_program
+
+
+@pytest.fixture(scope="module")
+def manager():
+    return VerificationManager(path_vector_program())
+
+
+def test_bench_ndlog_to_logic_compilation(benchmark, experiment_report):
+    program = path_vector_program()
+    theory = benchmark(program_to_theory, program)
+    experiment_report(
+        "E1",
+        [
+            f"arc 4 translation: {len(theory.definitions)} inductive definitions, "
+            f"{len(theory.axioms)} aggregate axioms generated from {len(program.rules)} rules"
+        ],
+    )
+    assert set(theory.definitions.predicates()) == {"path", "bestPath"}
+
+
+def test_bench_interactive_proof_seven_steps(benchmark, manager, experiment_report):
+    spec = route_optimality()
+    result = benchmark(manager.prove_property, spec, use_script=True, auto=False)
+    assert result.proved
+    assert result.interactive_steps == 7
+    experiment_report(
+        "E1",
+        [
+            "paper: bestPathStrong takes 7 proof steps, a fraction of a second",
+            f"measured: {result.interactive_steps} interactive steps, "
+            f"{result.elapsed_seconds * 1000:.2f} ms",
+        ],
+    )
+
+
+def test_bench_automated_proof(benchmark, manager, experiment_report):
+    spec = route_optimality()
+    result = benchmark(manager.prove_property, spec, use_script=False, auto=True)
+    assert result.proved
+    experiment_report(
+        "E1",
+        [
+            f"automated strategy: {result.total_steps} steps, all automated, "
+            f"{result.elapsed_seconds * 1000:.2f} ms"
+        ],
+    )
+
+
+def test_bench_weak_optimality_proof(benchmark, manager, experiment_report):
+    result = benchmark(manager.prove_property, route_optimality_weak(), use_script=True, auto=True)
+    assert result.proved
+    rows = [["bestPathStrong", 7], ["bestPathWeak", result.interactive_steps]]
+    experiment_report("E1", render_table(["theorem", "interactive steps"], rows).splitlines())

@@ -1,0 +1,81 @@
+"""E3 — the Disagree policy conflict and its neighbours (paper §3.2, refs [7,8,23]).
+
+Paper claims: the component-based BGP model supports verifying the Disagree
+scenario; Disagree has conflicting policies whose interaction delays or
+prevents convergence.  The bench enumerates stable solutions of the three
+classic gadgets and measures SPVP convergence behaviour per activation
+schedule.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.bgp.simulation import SPVPSimulator
+from repro.bgp.spp import bad_gadget, disagree, good_gadget
+
+
+GADGETS = {
+    "good_gadget": good_gadget,
+    "disagree": disagree,
+    "bad_gadget": bad_gadget,
+}
+
+
+def enumerate_solutions():
+    return {name: len(make().stable_solutions()) for name, make in GADGETS.items()}
+
+
+def test_bench_stable_solution_enumeration(benchmark, experiment_report):
+    counts = benchmark(enumerate_solutions)
+    assert counts == {"good_gadget": 1, "disagree": 2, "bad_gadget": 0}
+    rows = [[name, counts[name]] for name in GADGETS]
+    experiment_report(
+        "E3",
+        ["paper: Disagree exhibits a policy conflict (two stable outcomes, order-dependent)"]
+        + render_table(["gadget", "stable solutions"], rows).splitlines(),
+    )
+
+
+def spvp_profile(gadget_name: str, schedule: str):
+    simulator = SPVPSimulator(GADGETS[gadget_name](), seed=0)
+    if schedule == "random":
+        return simulator.convergence_profile(runs=15, schedule="random", max_activations=2_000)
+    result = simulator.run(schedule=schedule, max_activations=2_000)
+    return {
+        "convergence_rate": 1.0 if result.converged else 0.0,
+        "mean_activations": result.activations,
+        "mean_messages": result.messages,
+        "distinct_stable_outcomes": 1.0 if result.converged else 0.0,
+    }
+
+
+@pytest.mark.parametrize("gadget", list(GADGETS))
+def test_bench_spvp_random_schedule(benchmark, experiment_report, gadget):
+    profile = benchmark(spvp_profile, gadget, "random")
+    expected_rate = 0.0 if gadget == "bad_gadget" else 1.0
+    assert profile["convergence_rate"] == expected_rate
+    experiment_report(
+        "E3",
+        [
+            f"{gadget}/random: convergence rate {profile['convergence_rate']:.0%}, "
+            f"mean activations {profile['mean_activations']:.1f}, "
+            f"distinct outcomes {profile['distinct_stable_outcomes']:.0f}"
+        ],
+    )
+
+
+def test_bench_disagree_oscillates_synchronously(benchmark, experiment_report):
+    result = benchmark(
+        lambda: SPVPSimulator(disagree(), seed=0).run(schedule="simultaneous", max_activations=2_000)
+    )
+    assert result.oscillated and not result.converged
+    good = SPVPSimulator(good_gadget(), seed=0).run(schedule="simultaneous")
+    assert good.converged
+    rows = [
+        ["disagree", "simultaneous", "oscillates", result.activations],
+        ["good_gadget", "simultaneous", "converges", good.activations],
+    ]
+    experiment_report(
+        "E3",
+        render_table(["gadget", "schedule", "behaviour", "activations"], rows).splitlines(),
+    )

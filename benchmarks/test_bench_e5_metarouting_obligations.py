@@ -1,0 +1,76 @@
+"""E5 — metarouting proof obligations discharged mechanically (paper §3.3).
+
+Paper claims: encoding metarouting as an abstract theory lets the proof
+obligations of every base algebra instantiation, and of compositions of
+well-behaved algebras, be discharged automatically; the designer only writes
+the high-level composition (e.g. ``BGPSystem = lexProduct[LP, RC]``).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.metarouting import (
+    all_base_algebras,
+    bgp_system,
+    check_all_axioms,
+    instantiate,
+    instantiate_all,
+    policy_shortest_path_system,
+    safe_bgp_system,
+    shortest_widest_system,
+)
+
+
+def test_bench_base_algebra_obligations(benchmark, experiment_report):
+    results = benchmark(instantiate_all, all_base_algebras(), sample=24)
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                result.algebra,
+                f"{result.discharged}/{result.total}",
+                "yes" if result.well_behaved else "no",
+                f"{result.elapsed_seconds * 1000:.2f}",
+            ]
+        )
+    experiment_report(
+        "E5",
+        ["paper: obligations automatically discharged for all base algebras"]
+        + render_table(
+            ["algebra", "obligations discharged", "monotone+isotone", "time (ms)"], rows
+        ).splitlines(),
+    )
+    by_name = {r.algebra: r for r in results}
+    assert by_name["addA"].all_discharged
+    assert by_name["hopA"].all_discharged
+    assert by_name["widestA"].all_discharged
+    assert by_name["usableA"].all_discharged
+    # lpA is deliberately not monotone — the algebraic seed of BGP divergence
+    assert not by_name["lpA"].all_discharged
+
+
+COMPOSITIONS = {
+    "SafeBGPSystem": lambda: safe_bgp_system(max_cost=8),
+    "PolicyShortestPath": lambda: policy_shortest_path_system(max_cost=8),
+    "ShortestWidest": lambda: shortest_widest_system(max_cost=8),
+    "BGPSystem (lexProduct[LP,RC])": lambda: bgp_system(max_cost=8),
+}
+
+
+@pytest.mark.parametrize("name", list(COMPOSITIONS))
+def test_bench_composition_obligations(benchmark, experiment_report, name):
+    algebra = COMPOSITIONS[name]()
+    result = benchmark(instantiate, algebra, sample=16)
+    report = check_all_axioms(algebra, sample=16)
+    experiment_report(
+        "E5",
+        [
+            f"{name}: {result.discharged}/{result.total} obligations discharged, "
+            f"failed axioms: {report.failed_axioms() or 'none'}, "
+            f"{result.elapsed_seconds * 1000:.2f} ms"
+        ],
+    )
+    if name.startswith("BGPSystem"):
+        assert "monotonicity" in report.failed_axioms()
+    elif name in ("SafeBGPSystem", "PolicyShortestPath"):
+        assert result.all_discharged

@@ -1,0 +1,70 @@
+"""E6 — the automated fraction of proof steps (paper §4.3).
+
+Paper claim: "typically two-thirds of the proof steps can be automated by the
+theorem prover's default proof strategies".  The bench proves the standard
+property corpus in assisted mode (the fewest interactive steps after which
+the automated strategy finishes) and reports the automated fraction over the
+whole corpus.
+"""
+
+import pytest
+
+from repro.analysis import ProofEffort, render_table
+from repro.fvn.properties import standard_property_suite
+from repro.fvn.verification import VerificationManager
+from repro.protocols.pathvector import path_vector_program
+
+
+def assisted_corpus():
+    manager = VerificationManager(path_vector_program())
+    effort = ProofEffort()
+    per_property = []
+    for spec in standard_property_suite():
+        result, interactive_needed = manager.prove_with_minimal_script(spec)
+        effort.add(result)
+        per_property.append((spec.name, interactive_needed, result.total_steps, result.proved))
+    return effort, per_property
+
+
+def test_bench_automated_fraction(benchmark, experiment_report):
+    effort, per_property = benchmark(assisted_corpus)
+    assert all(proved for _, _, _, proved in per_property)
+    rows = [
+        [name, needed, total, f"{(total - needed) / total:.0%}" if total else "-"]
+        for name, needed, total, _ in per_property
+    ]
+    experiment_report(
+        "E6",
+        ["paper: typically two-thirds of the proof steps can be automated"]
+        + render_table(
+            ["property", "interactive steps needed", "total steps", "automated"], rows
+        ).splitlines()
+        + [
+            f"corpus automation: {effort.automated_fraction:.0%} "
+            f"({effort.automated_steps}/{effort.total_steps} steps), "
+            f"total prover time {effort.total_time_seconds * 1000:.1f} ms"
+        ],
+    )
+    assert effort.automated_fraction >= 2 / 3
+
+
+def test_bench_fully_interactive_baseline(benchmark, experiment_report):
+    """The fully scripted baseline the assisted mode is compared against."""
+
+    manager = VerificationManager(path_vector_program())
+
+    def scripted():
+        effort = ProofEffort()
+        for spec in standard_property_suite():
+            effort.add(manager.prove_property(spec, use_script=True, auto=True))
+        return effort
+
+    effort = benchmark(scripted)
+    assert effort.proved == 4
+    experiment_report(
+        "E6",
+        [
+            f"fully scripted baseline: {effort.interactive_steps} interactive of "
+            f"{effort.total_steps} total steps ({effort.automated_fraction:.0%} automated)"
+        ],
+    )

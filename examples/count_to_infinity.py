@@ -1,0 +1,43 @@
+"""Count-to-infinity in the distance-vector protocol (paper §3.1, ref [22]).
+
+FVN's verification side can establish that the distance-vector protocol
+admits count-to-infinity behaviour while the path-vector protocol does not.
+This example shows the behavioural side of that claim:
+
+1. converge distance vector on a small line topology,
+2. partition the destination away,
+3. watch the metric climb by two each exchange until the RIP-style infinity
+   bound — and watch split horizon remove the two-node loop,
+4. contrast with the path-vector program, which simply loses the route.
+
+Run with:  python examples/count_to_infinity.py
+"""
+
+from repro.ndlog import evaluate
+from repro.protocols import DistanceVectorSimulator, path_vector_program
+from repro.workloads import line_topology
+
+
+def main() -> None:
+    print("Topology: 0 -- 1 -- 2 (the link 1--2 will fail)\n")
+
+    for split_horizon in (False, True):
+        simulator = DistanceVectorSimulator(line_topology(3), split_horizon=split_horizon)
+        report = simulator.failure_experiment(1, 2, observe=(0, 2))
+        label = "with split horizon" if split_horizon else "plain distance vector"
+        print(f"{label}:")
+        print(f"  converged before failure in {report.rounds_before_failure} rounds")
+        print(f"  metric at node 0 towards node 2 after the failure:")
+        print(f"    {report.metric_trajectory}")
+        print(f"  verdict: {report.summary()}\n")
+
+    topology = line_topology(3)
+    topology.fail_link(1, 2)
+    db = evaluate(path_vector_program(), [("link", fact) for fact in topology.link_facts()])
+    routes_to_2 = [row for row in db.rows("bestPath") if row[1] == 2]
+    print("Path-vector protocol on the partitioned topology:")
+    print(f"  best paths to the unreachable node 2: {routes_to_2} (none — no counting)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Analysis of experiment outputs: convergence, proof effort, tables."""
+
+from .metrics import ConvergenceMetrics, ProofEffort, mean, render_table, speedup
+
+__all__ = ["ConvergenceMetrics", "ProofEffort", "mean", "render_table", "speedup"]

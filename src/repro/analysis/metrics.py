@@ -1,0 +1,102 @@
+"""Analysis helpers: convergence metrics, proof-effort accounting, tables.
+
+Experiments report a small set of recurring quantities; this module computes
+them from traces, proof results, and simulator outputs, and renders simple
+fixed-width tables so the benchmark harness output reads like the rows a
+paper would print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..dn.trace import Trace
+from ..logic.prover import ProofResult
+
+
+@dataclass
+class ConvergenceMetrics:
+    """Convergence summary of one distributed execution."""
+
+    converged: bool
+    convergence_time: float
+    messages: int
+    state_changes: int
+
+    @staticmethod
+    def from_trace(trace: Trace, *, predicate: Optional[str] = None, since: float = 0.0) -> "ConvergenceMetrics":
+        return ConvergenceMetrics(
+            converged=trace.quiescent,
+            convergence_time=trace.convergence_time(predicate, since=since),
+            messages=trace.message_count,
+            state_changes=trace.state_change_count,
+        )
+
+
+@dataclass
+class ProofEffort:
+    """Proof-effort accounting across a corpus (experiment E6)."""
+
+    results: list[ProofResult] = field(default_factory=list)
+
+    def add(self, result: ProofResult) -> None:
+        self.results.append(result)
+
+    @property
+    def proved(self) -> int:
+        return sum(1 for r in self.results if r.proved)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(r.total_steps for r in self.results)
+
+    @property
+    def interactive_steps(self) -> int:
+        return sum(r.interactive_steps for r in self.results)
+
+    @property
+    def automated_steps(self) -> int:
+        return sum(r.automated_steps for r in self.results)
+
+    @property
+    def automated_fraction(self) -> float:
+        return self.automated_steps / self.total_steps if self.total_steps else 0.0
+
+    @property
+    def total_time_seconds(self) -> float:
+        return sum(r.elapsed_seconds for r in self.results)
+
+    def summary(self) -> str:
+        return (
+            f"{self.proved}/{len(self.results)} proved, {self.total_steps} steps, "
+            f"{self.automated_fraction:.0%} automated, {self.total_time_seconds * 1000:.1f} ms"
+        )
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table (used by benches and examples)."""
+
+    rendered_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def speedup(baseline: float, measured: float) -> float:
+    """baseline / measured, guarding against division by zero."""
+
+    return baseline / measured if measured else float("inf")

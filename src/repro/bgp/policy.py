@@ -1,0 +1,272 @@
+"""BGP route attributes and import/export policies.
+
+Routes are value objects carrying the attributes the component model and the
+generated NDlog programs manipulate: destination, AS path, local preference,
+and path cost.  Policies are per-(node, neighbour) rules with match
+conditions and actions (deny, set local preference, prepend), applied on
+export (before advertising to a neighbour) and on import (after receiving
+from a neighbour) — exactly the ``export`` / ``import`` sub-components of the
+paper's Figure 2 decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Hashable, Iterable, Mapping, Optional, Sequence
+
+
+NodeId = Hashable
+
+#: Default local preference (BGP convention: higher is better; the paper's
+#: LP algebra uses lower-is-better ranks — conversion happens at the algebra
+#: boundary, not here).
+DEFAULT_LOCAL_PREF = 100
+
+
+@dataclass(frozen=True)
+class Route:
+    """A BGP route announcement."""
+
+    destination: NodeId
+    as_path: tuple[NodeId, ...]
+    local_pref: int = DEFAULT_LOCAL_PREF
+    cost: float = 0.0
+
+    @property
+    def path_length(self) -> int:
+        return len(self.as_path)
+
+    @property
+    def next_hop(self) -> Optional[NodeId]:
+        return self.as_path[0] if self.as_path else None
+
+    def contains(self, node: NodeId) -> bool:
+        return node in self.as_path
+
+    def prepend(self, node: NodeId, link_cost: float = 1.0) -> "Route":
+        """The route as seen after ``node`` adopts it over a link of the
+        given cost."""
+
+        return Route(
+            destination=self.destination,
+            as_path=(node,) + self.as_path,
+            local_pref=self.local_pref,
+            cost=self.cost + link_cost,
+        )
+
+    def as_tuple(self) -> tuple:
+        """Flat representation used by NDlog facts and component ports."""
+
+        return (self.destination, self.as_path, self.local_pref, self.cost)
+
+    @staticmethod
+    def from_tuple(values: Sequence) -> "Route":
+        destination, as_path, local_pref, cost = values
+        return Route(destination, tuple(as_path), int(local_pref), float(cost))
+
+
+def prefer_route(a: Route, b: Route) -> Route:
+    """BGP decision process (restricted to the attributes we model):
+    higher local preference wins, then shorter AS path, then lower cost,
+    then lowest next hop as the deterministic tie-break."""
+
+    key_a = (-a.local_pref, a.path_length, a.cost, str(a.next_hop))
+    key_b = (-b.local_pref, b.path_length, b.cost, str(b.next_hop))
+    return a if key_a <= key_b else b
+
+
+def best_route(routes: Iterable[Route]) -> Optional[Route]:
+    """The best of a set of routes under :func:`prefer_route`."""
+
+    best: Optional[Route] = None
+    for route in routes:
+        best = route if best is None else prefer_route(best, route)
+    return best
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One policy rule: an optional match plus an action.
+
+    ``match_destination`` / ``match_transit`` restrict the rule to routes to
+    a given destination or passing through a given AS.  The action either
+    denies the route or rewrites its local preference (optionally also
+    prepending the local AS additional times).
+    """
+
+    action: str  # "deny" | "allow" | "set_local_pref"
+    match_destination: Optional[NodeId] = None
+    match_transit: Optional[NodeId] = None
+    local_pref: Optional[int] = None
+    prepend_count: int = 0
+
+    def matches(self, route: Route) -> bool:
+        if self.match_destination is not None and route.destination != self.match_destination:
+            return False
+        if self.match_transit is not None and not route.contains(self.match_transit):
+            return False
+        return True
+
+    def apply(self, route: Route, owner: NodeId) -> Optional[Route]:
+        if not self.matches(route):
+            return route
+        if self.action == "deny":
+            return None
+        updated = route
+        if self.action == "set_local_pref" and self.local_pref is not None:
+            updated = replace(updated, local_pref=self.local_pref)
+        for _ in range(self.prepend_count):
+            updated = replace(updated, as_path=(owner,) + updated.as_path)
+        return updated
+
+
+@dataclass
+class PolicyTable:
+    """Import and export policies per (local AS, neighbour AS) pair."""
+
+    export_rules: dict[tuple[NodeId, NodeId], tuple[PolicyRule, ...]] = field(default_factory=dict)
+    import_rules: dict[tuple[NodeId, NodeId], tuple[PolicyRule, ...]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_export(self, local: NodeId, neighbour: NodeId, *rules: PolicyRule) -> None:
+        existing = self.export_rules.get((local, neighbour), ())
+        self.export_rules[(local, neighbour)] = existing + tuple(rules)
+
+    def add_import(self, local: NodeId, neighbour: NodeId, *rules: PolicyRule) -> None:
+        existing = self.import_rules.get((local, neighbour), ())
+        self.import_rules[(local, neighbour)] = existing + tuple(rules)
+
+    # ------------------------------------------------------------------
+    # Application (the export / import components of Figure 2)
+    # ------------------------------------------------------------------
+    def apply_export(self, local: NodeId, neighbour: NodeId, route: Route) -> Optional[Route]:
+        """Apply export policy at ``local`` for advertisement to ``neighbour``."""
+
+        if route.contains(neighbour):
+            return None  # never advertise a route back through the receiver
+        current: Optional[Route] = route
+        for rule in self.export_rules.get((local, neighbour), ()):
+            if current is None:
+                return None
+            current = rule.apply(current, local)
+        return current
+
+    def apply_import(self, local: NodeId, neighbour: NodeId, route: Route) -> Optional[Route]:
+        """Apply import policy at ``local`` for a route received from ``neighbour``."""
+
+        if route.contains(local):
+            return None  # loop prevention
+        current: Optional[Route] = route
+        for rule in self.import_rules.get((local, neighbour), ()):
+            if current is None:
+                return None
+            current = rule.apply(current, local)
+        return current
+
+    # ------------------------------------------------------------------
+    # NDlog fact export (used by the generated policy path-vector program)
+    # ------------------------------------------------------------------
+    def import_pref_facts(
+        self, nodes: Iterable[NodeId], *, default: int = DEFAULT_LOCAL_PREF
+    ) -> list[tuple[NodeId, NodeId, int]]:
+        """``importPref(@Local, Neighbour, Pref)`` facts for every node pair,
+        reflecting any ``set_local_pref`` import rules (default otherwise)."""
+
+        facts: list[tuple[NodeId, NodeId, int]] = []
+        node_list = list(nodes)
+        for local in node_list:
+            for neighbour in node_list:
+                if local == neighbour:
+                    continue
+                pref = default
+                for rule in self.import_rules.get((local, neighbour), ()):
+                    if rule.action == "set_local_pref" and rule.local_pref is not None:
+                        pref = rule.local_pref
+                facts.append((local, neighbour, pref))
+        return facts
+
+    def export_deny_facts(self, nodes: Iterable[NodeId]) -> list[tuple[NodeId, NodeId, NodeId]]:
+        """``exportDeny(@Local, Neighbour, Destination)`` facts for destination-
+        specific deny rules (wildcard denies expand over all nodes)."""
+
+        facts: list[tuple[NodeId, NodeId, NodeId]] = []
+        node_list = list(nodes)
+        for (local, neighbour), rules in self.export_rules.items():
+            for rule in rules:
+                if rule.action != "deny":
+                    continue
+                destinations = (
+                    [rule.match_destination]
+                    if rule.match_destination is not None
+                    else node_list
+                )
+                for destination in destinations:
+                    facts.append((local, neighbour, destination))
+        return facts
+
+
+# ---------------------------------------------------------------------------
+# Canonical policy configurations
+# ---------------------------------------------------------------------------
+
+def disagree_policies(origin: NodeId = 0, a: NodeId = 1, b: NodeId = 2) -> PolicyTable:
+    """Import policies realizing the Disagree gadget: each of ``a`` and ``b``
+    prefers the route learned from the other over its own direct route."""
+
+    table = PolicyTable()
+    table.add_import(a, b, PolicyRule("set_local_pref", match_destination=origin, local_pref=200))
+    table.add_import(b, a, PolicyRule("set_local_pref", match_destination=origin, local_pref=200))
+    table.add_import(a, origin, PolicyRule("set_local_pref", match_destination=origin, local_pref=100))
+    table.add_import(b, origin, PolicyRule("set_local_pref", match_destination=origin, local_pref=100))
+    return table
+
+
+def shortest_path_policies() -> PolicyTable:
+    """The conflict-free baseline: no policy rules, pure shortest path."""
+
+    return PolicyTable()
+
+
+def gao_rexford_policies(
+    customer_provider: Iterable[tuple[NodeId, NodeId]],
+    peers: Iterable[tuple[NodeId, NodeId]] = (),
+) -> PolicyTable:
+    """Gao–Rexford (valley-free) policies over a customer→provider relation.
+
+    * Routes learned from customers get the highest preference, then peers,
+      then providers.
+    * Routes learned from peers or providers are exported only to customers.
+
+    Gao & Rexford prove these guidelines guarantee convergence, so this
+    configuration serves as the large-topology conflict-free policy workload.
+    """
+
+    table = PolicyTable()
+    providers_of: dict[NodeId, set[NodeId]] = {}
+    customers_of: dict[NodeId, set[NodeId]] = {}
+    for customer, provider in customer_provider:
+        providers_of.setdefault(customer, set()).add(provider)
+        customers_of.setdefault(provider, set()).add(customer)
+    peer_pairs = {frozenset(p) for p in peers}
+
+    nodes = set(providers_of) | set(customers_of) | {n for pair in peer_pairs for n in pair}
+    for local in nodes:
+        for neighbour in nodes:
+            if local == neighbour:
+                continue
+            if neighbour in customers_of.get(local, set()):
+                table.add_import(local, neighbour, PolicyRule("set_local_pref", local_pref=300))
+            elif frozenset((local, neighbour)) in peer_pairs:
+                table.add_import(local, neighbour, PolicyRule("set_local_pref", local_pref=200))
+                # peer routes are not exported to other peers/providers
+                for other in nodes:
+                    if other != local and other not in customers_of.get(local, set()):
+                        table.add_export(local, other, PolicyRule("deny", match_transit=neighbour))
+            elif neighbour in providers_of.get(local, set()):
+                table.add_import(local, neighbour, PolicyRule("set_local_pref", local_pref=100))
+                for other in nodes:
+                    if other != local and other not in customers_of.get(local, set()):
+                        table.add_export(local, other, PolicyRule("deny", match_transit=neighbour))
+    return table

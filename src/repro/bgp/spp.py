@@ -1,0 +1,237 @@
+"""The Stable Paths Problem (SPP) and the classic policy gadgets.
+
+Griffin, Shepherd & Wilfong model BGP policy interaction as the Stable Paths
+Problem: each node has a ranked list of *permitted* paths to a single origin,
+and a solution assigns every node a permitted path (or the empty path) such
+that each node's assignment is its best choice given its neighbours'
+assignments.  The paper's Section 3.2 uses the **Disagree** scenario as the
+canonical policy conflict; Good Gadget and Bad Gadget are the other two
+standard instances (unique solution / no solution).
+
+This module provides the SPP data model, a brute-force stable-solution
+enumerator (fine at gadget scale), and constructors for the three gadgets
+plus a customer–provider hierarchy generator for larger experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Hashable, Iterable, Mapping, Optional, Sequence
+
+
+NodeId = Hashable
+Path = tuple  # a tuple of node ids ending at the origin; () is "no path"
+
+#: The empty (no route) path.
+EPSILON: Path = ()
+
+
+@dataclass
+class SPPInstance:
+    """A Stable Paths Problem instance.
+
+    ``permitted`` maps each non-origin node to its permitted paths, listed
+    most-preferred first.  Every permitted path must start at the node and
+    end at the origin.  The empty path is always implicitly permitted and
+    least preferred.
+    """
+
+    origin: NodeId
+    permitted: dict[NodeId, tuple[Path, ...]]
+    name: str = "spp"
+
+    def __post_init__(self) -> None:
+        for node, paths in self.permitted.items():
+            for path in paths:
+                if not path or path[0] != node or path[-1] != self.origin:
+                    raise ValueError(
+                        f"node {node!r}: permitted path {path!r} must run from the "
+                        f"node to the origin {self.origin!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[NodeId]:
+        return [self.origin] + sorted(self.permitted, key=str)
+
+    def edges(self) -> set[tuple[NodeId, NodeId]]:
+        """Directed edges implied by the permitted paths."""
+
+        out: set[tuple[NodeId, NodeId]] = set()
+        for paths in self.permitted.values():
+            for path in paths:
+                for a, b in zip(path, path[1:]):
+                    out.add((a, b))
+        return out
+
+    def rank(self, node: NodeId, path: Path) -> int:
+        """Rank of a path at a node (0 = most preferred; empty path ranks last)."""
+
+        if path == EPSILON:
+            return len(self.permitted.get(node, ()))
+        try:
+            return self.permitted[node].index(path)
+        except (KeyError, ValueError):
+            raise ValueError(f"path {path!r} is not permitted at {node!r}") from None
+
+    def prefers(self, node: NodeId, a: Path, b: Path) -> bool:
+        """Does ``node`` strictly prefer path ``a`` over path ``b``?"""
+
+        return self.rank(node, a) < self.rank(node, b)
+
+    def choices(self, node: NodeId) -> tuple[Path, ...]:
+        return self.permitted.get(node, ()) + (EPSILON,)
+
+    # ------------------------------------------------------------------
+    # Stability
+    # ------------------------------------------------------------------
+    def best_consistent_path(self, node: NodeId, assignment: Mapping[NodeId, Path]) -> Path:
+        """The node's best permitted path consistent with its neighbours'
+        current assignments (path = (node,) + neighbour's assigned path)."""
+
+        for path in self.permitted.get(node, ()):
+            next_hop = path[1] if len(path) > 1 else self.origin
+            if next_hop == self.origin:
+                if path == (node, self.origin):
+                    return path
+                continue
+            if assignment.get(next_hop, EPSILON) == path[1:]:
+                return path
+        return EPSILON
+
+    def is_stable(self, assignment: Mapping[NodeId, Path]) -> bool:
+        """Is the assignment a solution (every node plays its best response)?"""
+
+        for node in self.permitted:
+            if assignment.get(node, EPSILON) != self.best_consistent_path(node, assignment):
+                return False
+        return True
+
+    def stable_solutions(self) -> list[dict[NodeId, Path]]:
+        """Enumerate all stable solutions (brute force over permitted choices)."""
+
+        nodes = sorted(self.permitted, key=str)
+        options = [self.choices(n) for n in nodes]
+        solutions: list[dict[NodeId, Path]] = []
+        for combo in product(*options):
+            assignment = dict(zip(nodes, combo))
+            # consistency: a non-empty assigned path must be realizable given
+            # the downstream assignments
+            consistent = True
+            for node, path in assignment.items():
+                if path == EPSILON:
+                    continue
+                rest = path[1:]
+                if rest == (self.origin,):
+                    continue
+                if assignment.get(path[1], EPSILON) != rest:
+                    consistent = False
+                    break
+            if consistent and self.is_stable(assignment):
+                solutions.append(assignment)
+        return solutions
+
+    @property
+    def is_solvable(self) -> bool:
+        return bool(self.stable_solutions())
+
+    def has_unique_solution(self) -> bool:
+        return len(self.stable_solutions()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Classic gadgets
+# ---------------------------------------------------------------------------
+
+def disagree(origin: NodeId = 0, a: NodeId = 1, b: NodeId = 2) -> SPPInstance:
+    """The Disagree gadget: two nodes each prefer the route through the other.
+
+    Two stable solutions exist; simultaneous (synchronised) activations can
+    oscillate between them forever, which is the "policy conflict" behaviour
+    the paper's Section 3.2 verifies and observes as delayed convergence.
+    """
+
+    return SPPInstance(
+        origin=origin,
+        permitted={
+            a: ((a, b, origin), (a, origin)),
+            b: ((b, a, origin), (b, origin)),
+        },
+        name="disagree",
+    )
+
+
+def good_gadget(origin: NodeId = 0) -> SPPInstance:
+    """A safe instance: unique solution, every activation order converges."""
+
+    return SPPInstance(
+        origin=origin,
+        permitted={
+            1: ((1, origin), (1, 2, origin)),
+            2: ((2, origin), (2, 3, origin)),
+            3: ((3, origin),),
+        },
+        name="good_gadget",
+    )
+
+
+def bad_gadget(origin: NodeId = 0) -> SPPInstance:
+    """The Bad Gadget: no stable solution exists; SPVP diverges forever."""
+
+    return SPPInstance(
+        origin=origin,
+        permitted={
+            1: ((1, 2, origin), (1, origin)),
+            2: ((2, 3, origin), (2, origin)),
+            3: ((3, 1, origin), (3, origin)),
+        },
+        name="bad_gadget",
+    )
+
+
+def shortest_path_instance(
+    edges: Iterable[tuple[NodeId, NodeId]], origin: NodeId, *, max_paths: int = 8
+) -> SPPInstance:
+    """An SPP instance whose preferences are simply shortest-path-first.
+
+    Such instances always have a unique solution (the shortest path tree) —
+    the policy-conflict-free baseline used in experiment E4.
+    """
+
+    adjacency: dict[NodeId, set[NodeId]] = {}
+    nodes: set[NodeId] = {origin}
+    for a, b in edges:
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+        nodes.add(a)
+        nodes.add(b)
+
+    def paths_from(node: NodeId) -> list[Path]:
+        found: list[Path] = []
+        stack: list[tuple[NodeId, Path]] = [(node, (node,))]
+        while stack:
+            current, path = stack.pop()
+            if current == origin:
+                found.append(path)
+                continue
+            for neighbour in sorted(adjacency.get(current, ()), key=str):
+                if neighbour in path:
+                    continue
+                stack.append((neighbour, path + (neighbour,)))
+        found.sort(key=lambda p: (len(p), p))
+        return found[:max_paths]
+
+    permitted = {
+        node: tuple(paths_from(node)) for node in sorted(nodes - {origin}, key=str)
+    }
+    return SPPInstance(origin=origin, permitted=permitted, name="shortest_path")
+
+
+GADGETS = {
+    "disagree": disagree,
+    "good_gadget": good_gadget,
+    "bad_gadget": bad_gadget,
+}

@@ -1,0 +1,31 @@
+"""Distributed declarative-networking runtime (the FVN execution substrate).
+
+Simulates a network of nodes each running the localized NDlog program, with
+pipelined semi-naive evaluation, message delays/loss, topology dynamics, and
+execution traces for convergence analysis.  This package plays the role the
+P2 system plays in the paper (arc 7 of Figure 1).
+"""
+
+from .engine import DistributedEngine, EngineConfig, run_program
+from .events import Event, EventScheduler
+from .network import Channel, Link, Message, NodeId, Topology
+from .node import Node, NodeStats
+from .trace import MessageRecord, StateChange, Trace
+
+__all__ = [
+    "Channel",
+    "DistributedEngine",
+    "EngineConfig",
+    "Event",
+    "EventScheduler",
+    "Link",
+    "Message",
+    "MessageRecord",
+    "Node",
+    "NodeId",
+    "NodeStats",
+    "StateChange",
+    "Topology",
+    "Trace",
+    "run_program",
+]

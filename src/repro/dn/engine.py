@@ -1,0 +1,342 @@
+"""The distributed NDlog execution engine.
+
+This is the runtime the paper relies on for arc 7 of Figure 1: executing
+(generated) NDlog programs as an actual network protocol.  It follows the
+P2 / declarative-networking execution model:
+
+1. the program is **localized** (:mod:`repro.ndlog.localization`) so every
+   rule body reads tuples at a single node;
+2. base tuples are distributed to the node named by their location
+   specifier;
+3. execution is **pipelined semi-naive**: whenever a tuple is inserted (or
+   replaced under its primary key) at a node, the rules reading that
+   predicate re-fire with the new tuple as the delta; derived tuples whose
+   head location names another node are shipped as messages with the link's
+   propagation delay;
+4. aggregate rules (``min<C>`` …) are recomputed over the node's local
+   tables whenever one of their body relations changes, so route recomputation
+   (``bestRoute``) happens exactly as in the paper's BGP decomposition.
+
+The engine records a :class:`~repro.dn.trace.Trace` for convergence and
+message accounting, and supports runtime topology dynamics (link failure,
+recovery, cost changes) plus soft-state expiry and periodic refresh.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Optional, Sequence
+
+from ..logic.bmc import FunctionRegistry
+from ..ndlog.ast import Fact, NDlogError, Program, Rule
+from ..ndlog.functions import builtin_registry
+from ..ndlog.localization import localize_program
+from ..ndlog.seminaive import RuleEngine
+from .events import Event, EventScheduler
+from .network import Channel, NodeId, Topology
+from .node import Node
+from .trace import Trace
+
+
+@dataclass
+class EngineConfig:
+    """Tunable parameters of a distributed execution."""
+
+    #: Predicate under which the topology's links are injected (set to None
+    #: to disable automatic link facts).
+    link_predicate: Optional[str] = "link"
+    #: Random seed for the loss channel.
+    seed: Optional[int] = None
+    #: Interval for soft-state refresh of base facts (None disables).
+    refresh_interval: Optional[float] = None
+    #: Interval at which soft-state tables are scanned for expiry.
+    expiry_scan_interval: float = 1.0
+    #: Safety budget on processed events.
+    max_events: int = 500_000
+
+
+class DistributedEngine:
+    """Runs an NDlog program over a simulated network."""
+
+    def __init__(
+        self,
+        program: Program,
+        topology: Topology,
+        *,
+        config: Optional[EngineConfig] = None,
+        registry: Optional[FunctionRegistry] = None,
+    ) -> None:
+        program.check()
+        self.original_program = program
+        localization = localize_program(program)
+        self.program = localization.program
+        self.localization = localization
+        self.topology = topology
+        self.config = config or EngineConfig()
+        self.registry = registry or builtin_registry()
+        self.rule_engine = RuleEngine(self.registry)
+        self.scheduler = EventScheduler()
+        self.channel = Channel(topology, seed=self.config.seed)
+        self.trace = Trace()
+        self.nodes: dict[NodeId, Node] = {
+            node_id: Node(node_id, self.program) for node_id in topology.nodes
+        }
+        # rules indexed by the body predicates that can trigger them
+        self._triggers: dict[str, list[Rule]] = {}
+        for rule in self.program.rules:
+            for predicate in set(rule.body_predicates()):
+                self._triggers.setdefault(predicate, []).append(rule)
+        self._base_facts: list[tuple[NodeId, str, tuple]] = []
+        self._seeded = False
+
+    # ------------------------------------------------------------------
+    # Seeding
+    # ------------------------------------------------------------------
+    def _fact_location(self, fact: Fact) -> NodeId:
+        if fact.location is None:
+            raise NDlogError(
+                f"fact {fact} has no location specifier; distributed execution "
+                "requires located facts"
+            )
+        return fact.values[fact.location]
+
+    def seed_facts(self, extra_facts: Iterable[Fact | tuple] = ()) -> None:
+        """Queue initial facts (program facts, topology links, extras) at t=0."""
+
+        facts: list[tuple[NodeId, str, tuple]] = []
+        for fact in self.program.facts:
+            facts.append((self._fact_location(fact), fact.predicate, tuple(fact.values)))
+        # Extra facts (typically configuration such as policies) are seeded
+        # before the topology's link facts so that rules with negated
+        # configuration literals observe the configuration from the start.
+        for item in extra_facts:
+            if isinstance(item, Fact):
+                facts.append((self._fact_location(item), item.predicate, tuple(item.values)))
+            else:
+                predicate, values = item
+                values = tuple(values)
+                facts.append((values[0], predicate, values))
+        if self.config.link_predicate:
+            for link_fact in self.topology.link_facts():
+                facts.append((link_fact[0], self.config.link_predicate, tuple(link_fact)))
+        self._base_facts = facts
+        for node_id, predicate, values in facts:
+            self._schedule_local_insert(node_id, predicate, values, delay=0.0)
+        if self.config.refresh_interval:
+            self.scheduler.schedule(
+                self.config.refresh_interval,
+                Event("refresh", self._refresh_base_facts, "soft-state refresh"),
+            )
+        if self._has_soft_state():
+            self.scheduler.schedule(
+                self.config.expiry_scan_interval,
+                Event("expiry", self._expire_soft_state, "soft-state expiry scan"),
+            )
+        self._seeded = True
+
+    def _has_soft_state(self) -> bool:
+        return any(decl.is_soft_state for decl in self.program.materialized.values())
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _schedule_local_insert(
+        self, node_id: NodeId, predicate: str, values: tuple, *, delay: float
+    ) -> None:
+        def deliver() -> None:
+            self._handle_insert(node_id, predicate, values)
+
+        self.scheduler.schedule(delay, Event("insert", deliver, f"{predicate}@{node_id}"))
+
+    def _send(self, src: NodeId, dst: NodeId, predicate: str, values: tuple) -> None:
+        if dst not in self.nodes:
+            raise NDlogError(f"tuple {predicate}{values} addressed to unknown node {dst!r}")
+        dropped = self.channel.should_drop(src, dst)
+        self.nodes[src].stats.messages_sent += 1
+        self.trace.record_message(
+            self.scheduler.now, src, dst, predicate, values, delivered=not dropped
+        )
+        if dropped:
+            return
+        delay = self.channel.delay(src, dst)
+
+        def deliver() -> None:
+            self.nodes[dst].stats.messages_received += 1
+            self._handle_insert(dst, predicate, values)
+
+        self.scheduler.schedule(delay, Event("message", deliver, f"{src}->{dst} {predicate}"))
+
+    # ------------------------------------------------------------------
+    # Pipelined semi-naive execution
+    # ------------------------------------------------------------------
+    def _handle_insert(self, node_id: NodeId, predicate: str, values: tuple) -> None:
+        node = self.nodes[node_id]
+        now = self.scheduler.now
+        table = node.db.table(predicate)
+        existed_same = values in table
+        changed = node.insert(predicate, values, now)
+        if not changed:
+            return
+        kind = "replace" if not existed_same and len(table) and table.keys else "insert"
+        self.trace.record_change(now, node_id, predicate, values, kind)
+        self._fire_triggers(node, predicate, values)
+
+    def _fire_triggers(self, node: Node, predicate: str, values: tuple) -> None:
+        rules = self._triggers.get(predicate, ())
+        delta = {predicate: [values]}
+        for rule in rules:
+            node.stats.rule_firings += 1
+            if rule.head.has_aggregate:
+                firings = self.rule_engine.fire_rule(rule, node.db)
+            else:
+                firings = self.rule_engine.fire_rule(rule, node.db, delta=delta)
+            for firing in firings:
+                destination = firing.location_value
+                if destination is None or destination == node.id:
+                    self._handle_insert(node.id, firing.predicate, firing.values)
+                else:
+                    self._send(node.id, destination, firing.predicate, firing.values)
+
+    # ------------------------------------------------------------------
+    # Soft state
+    # ------------------------------------------------------------------
+    def _refresh_base_facts(self) -> None:
+        for node_id, predicate, values in self._base_facts:
+            decl = self.program.materialized.get(predicate)
+            if decl is None or not decl.is_soft_state:
+                continue
+            # refresh extends lifetime; only re-fires rules if the tuple was gone
+            self._handle_insert(node_id, predicate, values)
+            self.nodes[node_id].db.table(predicate).insert(values, self.scheduler.now)
+        if self.config.refresh_interval:
+            self.scheduler.schedule(
+                self.config.refresh_interval,
+                Event("refresh", self._refresh_base_facts, "soft-state refresh"),
+            )
+
+    def _expire_soft_state(self) -> None:
+        now = self.scheduler.now
+        for node in self.nodes.values():
+            removed = node.db.expire(now)
+            for predicate, rows in removed.items():
+                for row in rows:
+                    node.stats.tuples_deleted += 1
+                    self.trace.record_change(now, node.id, predicate, row, "expire")
+        if not self.scheduler.is_empty or self.config.refresh_interval:
+            self.scheduler.schedule(
+                self.config.expiry_scan_interval,
+                Event("expiry", self._expire_soft_state, "soft-state expiry scan"),
+            )
+
+    # ------------------------------------------------------------------
+    # Topology dynamics
+    # ------------------------------------------------------------------
+    def schedule_link_failure(self, src: NodeId, dst: NodeId, at: float, *, symmetric: bool = True) -> None:
+        """Fail a link at an absolute simulation time.
+
+        The link tuples are removed from the endpoints' databases.  Derived
+        state is *not* retracted (monotonic Datalog semantics); experiments
+        that need full retraction semantics use the protocol simulators in
+        :mod:`repro.protocols`.
+        """
+
+        def fail() -> None:
+            affected = self.topology.fail_link(src, dst, symmetric=symmetric)
+            if not self.config.link_predicate:
+                return
+            for link in affected:
+                node = self.nodes[link.src]
+                if node.delete(self.config.link_predicate, link.as_fact()):
+                    self.trace.record_change(
+                        self.scheduler.now, link.src, self.config.link_predicate, link.as_fact(), "delete"
+                    )
+
+        self.scheduler.schedule_at(at, Event("link_failure", fail, f"{src}-{dst} down"))
+
+    def schedule_cost_change(
+        self, src: NodeId, dst: NodeId, cost: float, at: float, *, symmetric: bool = True
+    ) -> None:
+        """Change a link cost at an absolute simulation time (keyed update)."""
+
+        def change() -> None:
+            affected = self.topology.set_cost(src, dst, cost, symmetric=symmetric)
+            if not self.config.link_predicate:
+                return
+            for link in affected:
+                self._handle_insert(link.src, self.config.link_predicate, link.as_fact())
+
+        self.scheduler.schedule_at(at, Event("cost_change", change, f"{src}-{dst} cost={cost}"))
+
+    def schedule_fact(self, predicate: str, values: tuple, at: float) -> None:
+        """Inject a located fact at an absolute simulation time."""
+
+        values = tuple(values)
+        self.scheduler.schedule_at(
+            at,
+            Event(
+                "inject",
+                lambda: self._handle_insert(values[0], predicate, values),
+                f"{predicate}{values}",
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Running and observing
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        until: float = float("inf"),
+        extra_facts: Iterable[Fact | tuple] = (),
+    ) -> Trace:
+        """Execute until quiescence, ``until``, or the event budget."""
+
+        if not self._seeded:
+            self.seed_facts(extra_facts)
+        processed = self.scheduler.run(until=until, max_events=self.config.max_events)
+        self.trace.events_processed = self.scheduler.processed
+        self.trace.finished_at = self.scheduler.now
+        self.trace.quiescent = self.scheduler.is_empty
+        return self.trace
+
+    def node(self, node_id: NodeId) -> Node:
+        return self.nodes[node_id]
+
+    def rows(self, predicate: str, node_id: Optional[NodeId] = None) -> list[tuple]:
+        """Rows of a predicate at one node, or across all nodes."""
+
+        if node_id is not None:
+            return self.nodes[node_id].rows(predicate)
+        out: list[tuple] = []
+        for node in self.nodes.values():
+            out.extend(node.rows(predicate))
+        return out
+
+    def global_snapshot(self) -> dict[str, set[tuple]]:
+        """Union of every node's tables (for comparison with the centralized
+        evaluator, which computes the same global fixpoint)."""
+
+        merged: dict[str, set[tuple]] = {}
+        for node in self.nodes.values():
+            for predicate, rows in node.snapshot().items():
+                merged.setdefault(predicate, set()).update(rows)
+        return merged
+
+    def total_messages(self) -> int:
+        return self.trace.message_count
+
+
+def run_program(
+    program: Program,
+    topology: Topology,
+    *,
+    config: Optional[EngineConfig] = None,
+    extra_facts: Iterable[Fact | tuple] = (),
+    until: float = float("inf"),
+) -> DistributedEngine:
+    """Convenience wrapper: build an engine, run it, return it."""
+
+    engine = DistributedEngine(program, topology, config=config)
+    engine.run(until=until, extra_facts=extra_facts)
+    return engine

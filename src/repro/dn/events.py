@@ -1,0 +1,101 @@
+"""Discrete-event scheduling for the declarative-networking runtime.
+
+The distributed runtime simulates a network of NDlog engines exchanging
+tuples.  Simulation time is a float (seconds); events are ordered by time
+with FIFO tie-breaking so repeated runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+@dataclass
+class Event:
+    """A scheduled callback with a human-readable kind tag."""
+
+    kind: str
+    callback: Callable[[], None]
+    detail: str = ""
+
+
+class EventScheduler:
+    """A deterministic priority-queue event scheduler."""
+
+    def __init__(self) -> None:
+        self._queue: list[_QueueEntry] = []
+        self._counter = itertools.count()
+        self.now: float = 0.0
+        self.processed: int = 0
+
+    def schedule(self, delay: float, event: Event) -> float:
+        """Schedule an event ``delay`` seconds from the current time."""
+
+        if delay < 0:
+            raise ValueError("cannot schedule events in the past")
+        at = self.now + delay
+        heapq.heappush(self._queue, _QueueEntry(at, next(self._counter), event))
+        return at
+
+    def schedule_at(self, time: float, event: Event) -> float:
+        """Schedule an event at an absolute simulation time."""
+
+        if time < self.now:
+            raise ValueError("cannot schedule events in the past")
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._counter), event))
+        return time
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def peek_time(self) -> Optional[float]:
+        return self._queue[0].time if self._queue else None
+
+    def run(
+        self,
+        *,
+        until: float = float("inf"),
+        max_events: int = 1_000_000,
+    ) -> int:
+        """Process events in order until the queue drains, ``until`` is
+        reached, or ``max_events`` have been processed.  Returns the number
+        of events processed by this call."""
+
+        processed = 0
+        while self._queue and processed < max_events:
+            if self._queue[0].time > until:
+                break
+            entry = heapq.heappop(self._queue)
+            self.now = entry.time
+            entry.event.callback()
+            processed += 1
+            self.processed += 1
+        if self._queue and self._queue[0].time > until and until != float("inf"):
+            self.now = until
+        return processed
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False when the queue is empty."""
+
+        if not self._queue:
+            return False
+        entry = heapq.heappop(self._queue)
+        self.now = entry.time
+        entry.event.callback()
+        self.processed += 1
+        return True

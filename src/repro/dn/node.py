@@ -1,0 +1,69 @@
+"""Per-node state for the distributed declarative-networking runtime.
+
+Each simulated node owns a :class:`~repro.ndlog.store.Database` holding the
+tuples whose location specifier names that node, plus counters used by the
+experiments (messages sent/received, rule firings).  Rule evaluation itself
+lives in :mod:`repro.dn.engine`; the node is deliberately a passive state
+container so it is easy to snapshot and compare against the centralized
+evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ndlog.ast import Program
+from ..ndlog.store import Database
+from .network import NodeId
+
+
+@dataclass
+class NodeStats:
+    """Counters kept per node."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    tuples_inserted: int = 0
+    tuples_replaced: int = 0
+    tuples_deleted: int = 0
+    rule_firings: int = 0
+
+
+class Node:
+    """One simulated network node running the NDlog program."""
+
+    def __init__(self, node_id: NodeId, program: Program) -> None:
+        self.id = node_id
+        self.db = Database()
+        self.stats = NodeStats()
+        for decl in program.materialized.values():
+            self.db.declare_from(decl)
+
+    def insert(self, predicate: str, values: tuple, now: float) -> bool:
+        """Insert a tuple into the local database; returns True on change."""
+
+        table = self.db.table(predicate)
+        previous = table.current(values)
+        changed = table.insert(values, now)
+        if changed:
+            if previous is not None:
+                self.stats.tuples_replaced += 1
+            else:
+                self.stats.tuples_inserted += 1
+        return changed
+
+    def delete(self, predicate: str, values: tuple) -> bool:
+        deleted = self.db.delete(predicate, values)
+        if deleted:
+            self.stats.tuples_deleted += 1
+        return deleted
+
+    def rows(self, predicate: str) -> list[tuple]:
+        return self.db.rows(predicate)
+
+    def snapshot(self) -> dict[str, set[tuple]]:
+        return self.db.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.id!r}, {self.db.fact_count()} facts)"

@@ -1,0 +1,129 @@
+"""Execution traces and convergence analysis for distributed runs.
+
+The distributed runtime records every state change and every message into a
+:class:`Trace`.  Experiments read the trace to report the quantities the
+paper's evaluation discusses: convergence time, message counts, and whether
+an execution converged at all (the Disagree scenario's delayed or absent
+convergence, Section 3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .network import NodeId
+
+
+@dataclass(frozen=True)
+class StateChange:
+    """One tuple insertion/replacement/deletion at a node."""
+
+    time: float
+    node: NodeId
+    predicate: str
+    values: tuple
+    kind: str = "insert"  # insert | replace | delete | expire
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One tuple shipment between nodes."""
+
+    time: float
+    src: NodeId
+    dst: NodeId
+    predicate: str
+    values: tuple
+    delivered: bool = True
+
+
+@dataclass
+class Trace:
+    """Everything observable about one distributed execution."""
+
+    state_changes: list[StateChange] = field(default_factory=list)
+    messages: list[MessageRecord] = field(default_factory=list)
+    events_processed: int = 0
+    finished_at: float = 0.0
+    quiescent: bool = False
+
+    # -- recording ---------------------------------------------------------
+    def record_change(
+        self, time: float, node: NodeId, predicate: str, values: tuple, kind: str = "insert"
+    ) -> None:
+        self.state_changes.append(StateChange(time, node, predicate, values, kind))
+
+    def record_message(
+        self,
+        time: float,
+        src: NodeId,
+        dst: NodeId,
+        predicate: str,
+        values: tuple,
+        delivered: bool = True,
+    ) -> None:
+        self.messages.append(MessageRecord(time, src, dst, predicate, values, delivered))
+
+    # -- analysis ----------------------------------------------------------
+    @property
+    def message_count(self) -> int:
+        return len(self.messages)
+
+    @property
+    def delivered_message_count(self) -> int:
+        return sum(1 for m in self.messages if m.delivered)
+
+    @property
+    def state_change_count(self) -> int:
+        return len(self.state_changes)
+
+    def last_change_time(self, predicate: Optional[str] = None) -> float:
+        """Time of the last state change (optionally for one predicate)."""
+
+        times = [
+            c.time
+            for c in self.state_changes
+            if predicate is None or c.predicate == predicate
+        ]
+        return max(times) if times else 0.0
+
+    def convergence_time(self, predicate: Optional[str] = None, since: float = 0.0) -> float:
+        """Convergence time = last state change at or after ``since``.
+
+        Only meaningful when the run ended quiescent; callers should check
+        :attr:`quiescent` (a non-quiescent run hit its time/event budget,
+        i.e. it had not converged when observation stopped).
+        """
+
+        times = [
+            c.time
+            for c in self.state_changes
+            if c.time >= since and (predicate is None or c.predicate == predicate)
+        ]
+        return (max(times) - since) if times else 0.0
+
+    def messages_between(self, start: float, end: float) -> int:
+        return sum(1 for m in self.messages if start <= m.time < end)
+
+    def changes_for(self, predicate: str) -> list[StateChange]:
+        return [c for c in self.state_changes if c.predicate == predicate]
+
+    def changes_at(self, node: NodeId) -> list[StateChange]:
+        return [c for c in self.state_changes if c.node == node]
+
+    def message_histogram(self, bucket: float = 1.0) -> dict[int, int]:
+        """Messages per time bucket (for plotting convergence activity)."""
+
+        hist: dict[int, int] = {}
+        for m in self.messages:
+            index = int(m.time // bucket)
+            hist[index] = hist.get(index, 0) + 1
+        return hist
+
+    def summary(self) -> str:
+        status = "quiescent" if self.quiescent else "budget-exhausted"
+        return (
+            f"trace: {self.state_change_count} state changes, "
+            f"{self.message_count} messages, finished at t={self.finished_at:.3f}s ({status})"
+        )

@@ -1,0 +1,99 @@
+"""FVN core: the paper's primary contribution, tying logic, NDlog, and
+execution together.
+
+Submodules implement the arcs of the paper's Figure 1:
+
+* :mod:`repro.fvn.components` — component-based network models (§3.2);
+* :mod:`repro.fvn.ndlog_to_logic` — NDlog → logical specification (arc 4);
+* :mod:`repro.fvn.logic_to_ndlog` — component specification → NDlog (arc 3);
+* :mod:`repro.fvn.properties` — the property/invariant library (arc 1);
+* :mod:`repro.fvn.verification` — theorem proving + counterexample search
+  (arcs 5 and 8);
+* :mod:`repro.fvn.soft_state_rewrite` — the soft-state encoding of §4.2;
+* :mod:`repro.fvn.linear` / :mod:`repro.fvn.modelcheck` — the
+  transition-system view and bounded model checking (arcs 6 and 8);
+* :mod:`repro.fvn.framework` — the orchestrating :class:`FVN` workflow.
+"""
+
+from .components import (
+    Component,
+    ComponentConstraint,
+    ComponentError,
+    CompositeComponent,
+    Port,
+    Wire,
+)
+from .framework import FVN, PipelineRecord
+from .linear import State, Transition, TransitionSystem
+from .logic_to_ndlog import (
+    SchemaAnnotation,
+    TranslationEquivalence,
+    check_translation_equivalence,
+    component_to_rules,
+    composite_to_program,
+)
+from .modelcheck import (
+    ModelCheckResult,
+    check_eventually_expires,
+    check_invariant,
+    check_reachable,
+)
+from .ndlog_to_logic import (
+    AggregateAxioms,
+    aggregate_rule_axioms,
+    program_to_theory,
+    rule_to_clause,
+)
+from .properties import (
+    PropertySpec,
+    best_path_is_path,
+    cycle_freedom,
+    path_implies_link,
+    reachability_soundness,
+    route_optimality,
+    route_optimality_weak,
+    standard_property_suite,
+)
+from .soft_state_rewrite import RewriteMetrics, SoftStateRewrite, rewrite_soft_state
+from .verification import PropertyVerdict, VerificationManager, VerificationReport
+
+__all__ = [
+    "AggregateAxioms",
+    "Component",
+    "ComponentConstraint",
+    "ComponentError",
+    "CompositeComponent",
+    "FVN",
+    "ModelCheckResult",
+    "PipelineRecord",
+    "Port",
+    "PropertySpec",
+    "PropertyVerdict",
+    "RewriteMetrics",
+    "SchemaAnnotation",
+    "SoftStateRewrite",
+    "State",
+    "Transition",
+    "TransitionSystem",
+    "TranslationEquivalence",
+    "VerificationManager",
+    "VerificationReport",
+    "Wire",
+    "aggregate_rule_axioms",
+    "best_path_is_path",
+    "check_eventually_expires",
+    "check_invariant",
+    "check_reachable",
+    "check_translation_equivalence",
+    "component_to_rules",
+    "composite_to_program",
+    "cycle_freedom",
+    "path_implies_link",
+    "program_to_theory",
+    "reachability_soundness",
+    "route_optimality",
+    "route_optimality_weak",
+    "rewrite_soft_state",
+    "rule_to_clause",
+    "standard_property_suite",
+]

@@ -1,0 +1,247 @@
+"""The FVN framework: orchestrating design → specification → verification →
+implementation (Figure 1 of the paper).
+
+:class:`FVN` wires the repository's pieces into the paper's pipeline and
+records which arcs of Figure 1 were exercised, so the end-to-end experiment
+(F1) can demonstrate the full loop on a real protocol:
+
+===  ==========================================================
+arc  meaning (and the method that realizes it here)
+===  ==========================================================
+1    properties / invariants written as logic (``add_property``)
+2    network meta-model → logical specification (``specify_components`` /
+     ``design_algebra``)
+3    verified logical specification → NDlog program (``generate_ndlog``)
+4    NDlog program → logical specification (``specify_ndlog``)
+5    static verification with the theorem prover (``verify``)
+6    logical specification → model-checkable transition system
+     (``transition_system`` / ``model_check``)
+7    NDlog program → protocol execution (``execute``)
+8    execution/model feedback to verification (counterexample search inside
+     ``verify`` with finite instances)
+===  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..dn.engine import DistributedEngine, EngineConfig
+from ..dn.network import Topology
+from ..dn.trace import Trace
+from ..logic.theory import Theory
+from ..metarouting.algebra import RoutingAlgebra
+from ..metarouting.obligations import InstantiationResult, instantiate
+from ..ndlog.ast import Program
+from .components import CompositeComponent
+from .linear import TransitionSystem
+from .logic_to_ndlog import SchemaAnnotation, composite_to_program
+from .modelcheck import ModelCheckResult, check_invariant, check_reachable
+from .ndlog_to_logic import program_to_theory
+from .properties import PropertySpec
+from .verification import VerificationManager, VerificationReport
+
+
+@dataclass
+class PipelineRecord:
+    """Which arcs of Figure 1 have been exercised, with short descriptions."""
+
+    arcs: dict[int, str] = field(default_factory=dict)
+
+    def mark(self, arc: int, description: str) -> None:
+        self.arcs[arc] = description
+
+    @property
+    def exercised(self) -> list[int]:
+        return sorted(self.arcs)
+
+    def complete(self, required: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8)) -> bool:
+        return all(arc in self.arcs for arc in required)
+
+    def summary(self) -> str:
+        lines = ["FVN pipeline arcs exercised:"]
+        for arc in sorted(self.arcs):
+            lines.append(f"  arc {arc}: {self.arcs[arc]}")
+        return "\n".join(lines)
+
+
+class FVN:
+    """One FVN workflow instance for one protocol design."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.record = PipelineRecord()
+        self.properties: list[PropertySpec] = []
+        self.meta_model: Optional[RoutingAlgebra] = None
+        self.meta_result: Optional[InstantiationResult] = None
+        self.components: Optional[CompositeComponent] = None
+        self.theory: Optional[Theory] = None
+        self.program: Optional[Program] = None
+        self.verification: Optional[VerificationReport] = None
+        self.execution: Optional[DistributedEngine] = None
+
+    # ------------------------------------------------------------------
+    # Design phase
+    # ------------------------------------------------------------------
+    def design_algebra(self, algebra: RoutingAlgebra, *, sample: int = 24) -> InstantiationResult:
+        """Register (and check) the protocol's metarouting meta-model."""
+
+        self.meta_model = algebra
+        self.meta_result = instantiate(algebra, sample=sample)
+        self.record.mark(2, f"meta-model {algebra.name}: "
+                            f"{self.meta_result.discharged}/{self.meta_result.total} obligations discharged")
+        return self.meta_result
+
+    def design_components(self, composite: CompositeComponent) -> CompositeComponent:
+        """Register the protocol's component-based conceptual model."""
+
+        self.components = composite
+        return composite
+
+    def add_property(self, spec: PropertySpec) -> PropertySpec:
+        """Register a desired property (arc 1)."""
+
+        self.properties.append(spec)
+        self.record.mark(1, f"{len(self.properties)} properties specified")
+        return spec
+
+    # ------------------------------------------------------------------
+    # Specification phase
+    # ------------------------------------------------------------------
+    def specify_components(self) -> Theory:
+        """Formalize the registered component model as a theory (arc 2)."""
+
+        if self.components is None:
+            raise ValueError("no component model registered")
+        self.theory = self.components.theory()
+        self.record.mark(2, f"component model {self.components.name} formalized "
+                            f"({len(self.theory.definitions)} definitions)")
+        return self.theory
+
+    def use_ndlog(self, program: Program) -> Program:
+        """Register a hand-written NDlog program (the arc-4-first workflow)."""
+
+        self.program = program
+        return program
+
+    def specify_ndlog(self) -> Theory:
+        """Compile the registered NDlog program into a theory (arc 4)."""
+
+        if self.program is None:
+            raise ValueError("no NDlog program registered")
+        self.theory = program_to_theory(self.program)
+        self.record.mark(
+            4,
+            f"NDlog program {self.program.name} compiled to theory "
+            f"({len(self.theory.definitions)} definitions, {len(self.theory.axioms)} axioms)",
+        )
+        return self.theory
+
+    def generate_ndlog(
+        self, *, schema: Optional[SchemaAnnotation] = None, name: Optional[str] = None
+    ) -> Program:
+        """Generate an NDlog program from the verified component model (arc 3)."""
+
+        if self.components is None:
+            raise ValueError("no component model registered")
+        self.program = composite_to_program(self.components, schema=schema, program_name=name)
+        self.record.mark(3, f"generated NDlog program {self.program.name} "
+                            f"({len(self.program.rules)} rules)")
+        return self.program
+
+    # ------------------------------------------------------------------
+    # Verification phase
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        *,
+        instances: Sequence[Iterable[tuple[str, tuple]]] = (),
+        use_script: bool = True,
+    ) -> VerificationReport:
+        """Prove the registered properties against the specification (arc 5),
+        cross-checking on finite instances when provided (arc 8)."""
+
+        if self.program is None:
+            raise ValueError("no NDlog program to verify against")
+        if self.theory is None:
+            self.specify_ndlog()
+        manager = VerificationManager(self.program, theory=self.theory)
+        self.verification = manager.verify(
+            self.properties, instances=instances, use_script=use_script
+        )
+        self.record.mark(
+            5,
+            f"{self.verification.proved_count}/{len(self.verification.verdicts)} properties proved "
+            f"({self.verification.automated_fraction:.0%} of steps automated)",
+        )
+        if instances:
+            self.record.mark(8, f"counterexample search over {len(list(instances))} finite instances")
+        return self.verification
+
+    def transition_system(self, **kwargs) -> TransitionSystem:
+        """The model-checkable transition-system view of the program (arc 6)."""
+
+        if self.program is None:
+            raise ValueError("no NDlog program registered")
+        system = TransitionSystem(self.program, **kwargs)
+        self.record.mark(6, "transition-system view constructed")
+        return system
+
+    def model_check(
+        self,
+        invariant,
+        *,
+        extra_facts: Iterable[tuple[str, tuple]] = (),
+        max_states: int = 2_000,
+        max_depth: int = 30,
+    ) -> ModelCheckResult:
+        """Bounded invariant checking on the transition system (arc 6)."""
+
+        system = self.transition_system()
+        result = check_invariant(
+            system,
+            invariant,
+            extra_facts=extra_facts,
+            max_states=max_states,
+            max_depth=max_depth,
+        )
+        self.record.mark(6, f"model checking: {result.summary()}")
+        return result
+
+    # ------------------------------------------------------------------
+    # Implementation phase
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        topology: Topology,
+        *,
+        config: Optional[EngineConfig] = None,
+        extra_facts: Iterable[tuple[str, tuple]] = (),
+        until: float = float("inf"),
+    ) -> Trace:
+        """Run the (generated) NDlog program on the distributed runtime (arc 7)."""
+
+        if self.program is None:
+            raise ValueError("no NDlog program registered")
+        self.execution = DistributedEngine(self.program, topology, config=config)
+        trace = self.execution.run(until=until, extra_facts=extra_facts)
+        self.record.mark(
+            7,
+            f"executed on {topology.node_count} nodes: {trace.message_count} messages, "
+            f"converged at t={trace.last_change_time():.3f}s",
+        )
+        return trace
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        lines = [f"FVN workflow {self.name!r}", self.record.summary()]
+        if self.meta_result is not None:
+            lines.append("meta-model: " + self.meta_result.summary())
+        if self.verification is not None:
+            lines.append(self.verification.summary())
+        if self.execution is not None:
+            lines.append(self.execution.trace.summary())
+        return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Explicit-state bounded model checking over the transition-system view.
+
+Arcs 6 and 8 of Figure 1: once the NDlog specification is read as a
+transition system (:mod:`repro.fvn.linear`), standard model-checking queries
+apply.  This module provides a small explicit-state bounded checker:
+
+* :func:`check_invariant` — AG p up to a depth/state bound, returning a
+  counterexample trace when violated;
+* :func:`check_reachable` — EF p, returning a witness trace;
+* :func:`check_eventually_expires` — the soft-state sanity property used by
+  experiment E7 (every soft-state fact eventually disappears along the
+  all-tick path);
+
+all bounded, which is exactly the "incomplete but automatic" regime the
+paper contrasts with theorem proving.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from .linear import State, Transition, TransitionSystem
+
+
+StatePredicate = Callable[[State], bool]
+
+
+@dataclass
+class ModelCheckResult:
+    """Outcome of a bounded model-checking query."""
+
+    query: str
+    holds: bool
+    states_explored: int
+    depth_reached: int
+    bounded: bool
+    trace: list[Transition] = field(default_factory=list)
+    witness: Optional[State] = None
+
+    def summary(self) -> str:
+        status = "holds" if self.holds else "VIOLATED"
+        bound = " (bounded)" if self.bounded else ""
+        return (
+            f"{self.query}: {status}{bound} after {self.states_explored} states, "
+            f"depth {self.depth_reached}"
+        )
+
+
+def _explore(
+    system: TransitionSystem,
+    initial: State,
+    *,
+    max_states: int,
+    max_depth: int,
+    stop: Callable[[State], bool],
+) -> tuple[Optional[tuple[State, list[Transition]]], int, int, bool]:
+    """Breadth-first exploration.  Returns (hit, states_explored, depth, truncated)."""
+
+    seen: set = {(initial.facts, initial.clock)}
+    queue: deque[tuple[State, list[Transition], int]] = deque([(initial, [], 0)])
+    explored = 0
+    max_seen_depth = 0
+    truncated = False
+    while queue:
+        state, path, depth = queue.popleft()
+        explored += 1
+        max_seen_depth = max(max_seen_depth, depth)
+        if stop(state):
+            return (state, path), explored, max_seen_depth, truncated
+        if depth >= max_depth:
+            truncated = True
+            continue
+        if explored >= max_states:
+            truncated = True
+            break
+        for transition in system.successors(state):
+            key = (transition.target.facts, transition.target.clock)
+            if key in seen:
+                continue
+            seen.add(key)
+            queue.append((transition.target, path + [transition], depth + 1))
+    return None, explored, max_seen_depth, truncated
+
+
+def check_reachable(
+    system: TransitionSystem,
+    goal: StatePredicate,
+    *,
+    initial: Optional[State] = None,
+    extra_facts: Iterable[tuple[str, tuple]] = (),
+    max_states: int = 5_000,
+    max_depth: int = 50,
+    query: str = "EF goal",
+) -> ModelCheckResult:
+    """Is a state satisfying ``goal`` reachable (within the bounds)?"""
+
+    start = initial if initial is not None else system.initial_state(extra_facts)
+    hit, explored, depth, truncated = _explore(
+        system, start, max_states=max_states, max_depth=max_depth, stop=goal
+    )
+    if hit is not None:
+        state, path = hit
+        return ModelCheckResult(query, True, explored, depth, truncated, path, state)
+    return ModelCheckResult(query, False, explored, depth, truncated)
+
+
+def check_invariant(
+    system: TransitionSystem,
+    invariant: StatePredicate,
+    *,
+    initial: Optional[State] = None,
+    extra_facts: Iterable[tuple[str, tuple]] = (),
+    max_states: int = 5_000,
+    max_depth: int = 50,
+    query: str = "AG invariant",
+) -> ModelCheckResult:
+    """Does ``invariant`` hold in every reachable state (within the bounds)?
+
+    A violation produces the counterexample trace the paper describes as the
+    model checker's contribution to the proof process (Section 4.3).
+    """
+
+    start = initial if initial is not None else system.initial_state(extra_facts)
+    hit, explored, depth, truncated = _explore(
+        system,
+        start,
+        max_states=max_states,
+        max_depth=max_depth,
+        stop=lambda s: not invariant(s),
+    )
+    if hit is not None:
+        state, path = hit
+        return ModelCheckResult(query, False, explored, depth, truncated, path, state)
+    return ModelCheckResult(query, True, explored, depth, truncated)
+
+
+def check_eventually_expires(
+    system: TransitionSystem,
+    predicate: str,
+    *,
+    extra_facts: Iterable[tuple[str, tuple]] = (),
+    max_ticks: int = 64,
+) -> ModelCheckResult:
+    """Along the pure-tick path, do all ``predicate`` facts eventually expire?
+
+    This is the eventual-consistency sanity check for soft state: with no
+    refresh activity, a soft-state table must drain.  (With refresh rules
+    enabled the same query on the full system shows the table being
+    sustained, which is the intended protocol behaviour.)
+    """
+
+    state = system.initial_state(extra_facts)
+    trace: list[Transition] = []
+    for tick_index in range(max_ticks):
+        if not state.rows(predicate):
+            return ModelCheckResult(
+                f"F (empty {predicate})", True, tick_index + 1, tick_index, False, trace, state
+            )
+        tick = None
+        for transition in system.successors(state):
+            if transition.kind == "tick":
+                tick = transition
+                break
+        if tick is None:
+            break
+        trace.append(tick)
+        state = tick.target
+    holds = not state.rows(predicate)
+    return ModelCheckResult(
+        f"F (empty {predicate})", holds, max_ticks, max_ticks, not holds, trace, state
+    )

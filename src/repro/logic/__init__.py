@@ -1,0 +1,164 @@
+"""The FVN logic substrate: a small PVS-like proof assistant.
+
+This package is the in-repository substitute for the PVS theorem prover the
+paper uses.  It provides first-order terms and formulas, inductive
+definitions (the ``INDUCTIVE bool`` fragment), theories with theory
+interpretation, a sequent-calculus prover with PVS-style tactics and an
+automated ``grind`` strategy, a linear-arithmetic decision procedure, and
+finite-model evaluation for counterexample search.
+
+Typical use::
+
+    from repro.logic import Theory, forall, exists, atom, lt, var
+
+    thy = Theory("example")
+    ...
+    result = thy.prove_theorem("bestPathStrong")
+    assert result.proved
+"""
+
+from .arith import ComparisonSet, comparisons_entail, comparisons_unsat, evaluate as eval_arith
+from .bmc import (
+    Counterexample,
+    FiniteModel,
+    FixpointResult,
+    FunctionRegistry,
+    find_counterexample,
+    ground_eval,
+    least_fixpoint,
+)
+from .formulas import (
+    And,
+    Atom,
+    Comparison,
+    Exists,
+    FALSE,
+    Falsity,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Truth,
+    atom,
+    close,
+    conj,
+    disj,
+    eq,
+    exists,
+    forall,
+    ge,
+    gt,
+    iff,
+    implies,
+    le,
+    lt,
+    neg,
+    neq,
+    predicates_in,
+)
+from .inductive import Clause, DefinitionTable, InductiveDefinition
+from .prover import ProofResult, ProofSession, ProofStep, prove
+from .sequent import Sequent
+from .substitution import match_atoms, match_terms, unify_atoms, unify_terms
+from .tactics import ProofContext, TacticError
+from .terms import (
+    ANY,
+    BOOL,
+    Const,
+    Func,
+    INT,
+    METRIC,
+    NODE,
+    PATH,
+    Sort,
+    TIME,
+    Term,
+    Var,
+    const,
+    func,
+    term,
+    var,
+)
+from .theory import Interpretation, Obligation, SymbolDeclaration, Theorem, Theory
+
+__all__ = [
+    "ANY",
+    "And",
+    "Atom",
+    "BOOL",
+    "Clause",
+    "Comparison",
+    "ComparisonSet",
+    "Const",
+    "Counterexample",
+    "DefinitionTable",
+    "Exists",
+    "FALSE",
+    "Falsity",
+    "FiniteModel",
+    "FixpointResult",
+    "Forall",
+    "Formula",
+    "Func",
+    "FunctionRegistry",
+    "INT",
+    "Iff",
+    "Implies",
+    "InductiveDefinition",
+    "Interpretation",
+    "METRIC",
+    "NODE",
+    "Not",
+    "Obligation",
+    "Or",
+    "PATH",
+    "ProofContext",
+    "ProofResult",
+    "ProofSession",
+    "ProofStep",
+    "Sequent",
+    "Sort",
+    "SymbolDeclaration",
+    "TIME",
+    "TRUE",
+    "TacticError",
+    "Term",
+    "Theorem",
+    "Theory",
+    "Truth",
+    "Var",
+    "atom",
+    "close",
+    "comparisons_entail",
+    "comparisons_unsat",
+    "conj",
+    "const",
+    "disj",
+    "eq",
+    "eval_arith",
+    "exists",
+    "find_counterexample",
+    "forall",
+    "func",
+    "ge",
+    "ground_eval",
+    "gt",
+    "iff",
+    "implies",
+    "le",
+    "least_fixpoint",
+    "lt",
+    "match_atoms",
+    "match_terms",
+    "neg",
+    "neq",
+    "predicates_in",
+    "prove",
+    "term",
+    "unify_atoms",
+    "unify_terms",
+    "var",
+]

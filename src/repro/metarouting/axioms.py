@@ -1,0 +1,171 @@
+"""The four metarouting axioms and their exhaustive checking.
+
+The semantics of a routing algebra is given by four axioms (paper
+Section 3.3.1):
+
+* **maximality** — the prohibited signature is least preferred:
+  ``∀ s ∈ Σ: s ⪯ φ``;
+* **absorption** — prohibition is closed under label application:
+  ``∀ l ∈ L: l ⊕ φ = φ``;
+* **monotonicity** — a path never becomes more preferred by growing:
+  ``∀ l ∈ L, s ∈ Σ: s ⪯ l ⊕ s``;
+* **isotonicity** — preference is preserved by extension:
+  ``∀ l ∈ L, s1, s2 ∈ Σ: s1 ⪯ s2 ⇒ l ⊕ s1 ⪯ l ⊕ s2``.
+
+Metarouting's key theorem (Griffin & Sobrinho) is that monotonicity and
+isotonicity are sufficient for convergence of the induced path-vector
+protocol, so checking these axioms *is* the convergence verification.
+
+Checks are exhaustive over the algebra's (finite or sampled) carrier, the
+role the PVS type checker plays when it discharges instantiation
+obligations.  Each check returns an :class:`AxiomReport` carrying a
+counterexample when the axiom fails; strict variants (used by some
+composition-operator preservation theorems) are also provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .algebra import Label, RoutingAlgebra, Signature
+
+
+#: Names of the four axioms, in the order the paper lists them.
+AXIOM_NAMES = ("maximality", "absorption", "monotonicity", "isotonicity")
+
+
+@dataclass
+class AxiomReport:
+    """Result of checking one axiom over one algebra."""
+
+    algebra: str
+    axiom: str
+    holds: bool
+    checked_cases: int
+    counterexample: Optional[dict] = None
+
+    def __str__(self) -> str:
+        status = "holds" if self.holds else f"FAILS ({self.counterexample})"
+        return f"{self.algebra}.{self.axiom}: {status} [{self.checked_cases} cases]"
+
+
+@dataclass
+class AlgebraReport:
+    """All four axiom reports for one algebra."""
+
+    algebra: str
+    reports: dict[str, AxiomReport] = field(default_factory=dict)
+
+    @property
+    def is_well_behaved(self) -> bool:
+        """Monotone and isotone (the convergence-sufficient conditions)."""
+
+        return (
+            self.reports["monotonicity"].holds and self.reports["isotonicity"].holds
+        )
+
+    @property
+    def all_hold(self) -> bool:
+        return all(r.holds for r in self.reports.values())
+
+    @property
+    def total_cases(self) -> int:
+        return sum(r.checked_cases for r in self.reports.values())
+
+    def failed_axioms(self) -> list[str]:
+        return [name for name, r in self.reports.items() if not r.holds]
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.reports.values())
+
+
+def check_maximality(algebra: RoutingAlgebra, *, sample: int = 64) -> AxiomReport:
+    """``∀ s: s ⪯ φ``."""
+
+    cases = 0
+    for s in algebra.sample(sample):
+        cases += 1
+        if not algebra.prefer(s, algebra.prohibited):
+            return AxiomReport(
+                algebra.name, "maximality", False, cases, {"s": s}
+            )
+    return AxiomReport(algebra.name, "maximality", True, cases)
+
+
+def check_absorption(algebra: RoutingAlgebra, *, sample: int = 64) -> AxiomReport:
+    """``∀ l: l ⊕ φ = φ``."""
+
+    cases = 0
+    for l in algebra.labels[:sample]:
+        cases += 1
+        if algebra.apply(l, algebra.prohibited) != algebra.prohibited:
+            return AxiomReport(
+                algebra.name, "absorption", False, cases, {"label": l}
+            )
+    return AxiomReport(algebra.name, "absorption", True, cases)
+
+
+def check_monotonicity(
+    algebra: RoutingAlgebra, *, sample: int = 64, strict: bool = False
+) -> AxiomReport:
+    """``∀ l, s: s ⪯ l ⊕ s`` (strict: ``s ≺ l ⊕ s`` for usable ``s``)."""
+
+    cases = 0
+    name = "strict_monotonicity" if strict else "monotonicity"
+    for l in algebra.labels[:sample]:
+        for s in algebra.sample(sample):
+            cases += 1
+            extended = algebra.apply(l, s)
+            if strict:
+                if s != algebra.prohibited and not (
+                    algebra.prefer(s, extended) and not algebra.equivalent(s, extended)
+                ):
+                    return AxiomReport(
+                        algebra.name, name, False, cases, {"label": l, "s": s, "l⊕s": extended}
+                    )
+            elif not algebra.prefer(s, extended):
+                return AxiomReport(
+                    algebra.name, name, False, cases, {"label": l, "s": s, "l⊕s": extended}
+                )
+    return AxiomReport(algebra.name, name, True, cases)
+
+
+def check_isotonicity(algebra: RoutingAlgebra, *, sample: int = 32) -> AxiomReport:
+    """``∀ l, s1, s2: s1 ⪯ s2 ⇒ l ⊕ s1 ⪯ l ⊕ s2``."""
+
+    cases = 0
+    sigs = algebra.sample(sample)
+    for l in algebra.labels[:sample]:
+        for s1 in sigs:
+            for s2 in sigs:
+                cases += 1
+                if algebra.prefer(s1, s2) and not algebra.prefer(
+                    algebra.apply(l, s1), algebra.apply(l, s2)
+                ):
+                    return AxiomReport(
+                        algebra.name,
+                        "isotonicity",
+                        False,
+                        cases,
+                        {"label": l, "s1": s1, "s2": s2},
+                    )
+    return AxiomReport(algebra.name, "isotonicity", True, cases)
+
+
+def check_all_axioms(algebra: RoutingAlgebra, *, sample: int = 32) -> AlgebraReport:
+    """Check the four metarouting axioms over an algebra."""
+
+    report = AlgebraReport(algebra.name)
+    report.reports["maximality"] = check_maximality(algebra, sample=sample)
+    report.reports["absorption"] = check_absorption(algebra, sample=sample)
+    report.reports["monotonicity"] = check_monotonicity(algebra, sample=sample)
+    report.reports["isotonicity"] = check_isotonicity(algebra, sample=sample)
+    return report
+
+
+def is_well_behaved(algebra: RoutingAlgebra, *, sample: int = 32) -> bool:
+    """Monotone and isotone — metarouting's sufficient condition for
+    convergence of the induced routing protocol."""
+
+    return check_all_axioms(algebra, sample=sample).is_well_behaved

@@ -1,0 +1,220 @@
+"""Base (atomic) routing algebras.
+
+Metarouting provides base algebras as building blocks (paper Section 3.3.1):
+adding link costs during concatenation (``addA``), local preference used in
+route selection (``lpA``), and friends.  Each factory below returns a
+:class:`~repro.metarouting.algebra.RoutingAlgebra` over a *finite* carrier so
+the axioms can be discharged exhaustively; the carriers are parameterized so
+tests can scale them.
+
+Provided algebras:
+
+* :func:`add_algebra` (``addA``) — additive costs, smaller preferred;
+* :func:`local_pref_algebra` (``lpA``) — BGP-style local preference where a
+  link label simply *sets* the preference value (``l ⊕ s = l``), smaller
+  preferred per the paper's snippet;
+* :func:`hop_count_algebra` — additive with unit labels;
+* :func:`widest_path_algebra` — bottleneck bandwidth, larger preferred;
+* :func:`reliability_algebra` — multiplicative link reliability, larger
+  preferred;
+* :func:`usable_path_algebra` — two-valued usable/prohibited with
+  allow/deny labels.
+
+``local_pref_algebra`` is deliberately *not* monotone (a label can set a
+better preference than the route already has), which is exactly why raw
+local-preference routing does not converge by construction and why the paper
+composes it under a lexical product with a monotone component.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from .algebra import RoutingAlgebra, algebra_from_rank
+
+
+#: Conventional "infinite"/prohibited cost used by the additive algebras.
+INFINITY = float("inf")
+
+
+def add_algebra(
+    *,
+    max_cost: int = 16,
+    labels: Sequence[int] = (1, 2, 3, 5),
+    name: str = "addA",
+) -> RoutingAlgebra:
+    """Additive cost algebra: signatures are costs, smaller is preferred.
+
+    The carrier is finite so that axiom checking is exhaustive; costs
+    saturate at ``max_cost`` (they *clamp* rather than become prohibited,
+    which keeps the algebra isotone on the bounded carrier — becoming
+    prohibited only at a bound would make extension non-isotone, an artifact
+    of finiteness rather than of the algebra the paper describes).
+    """
+
+    signatures = tuple(range(max_cost + 1)) + (INFINITY,)
+
+    def apply(label, signature):
+        if signature == INFINITY:
+            return INFINITY
+        return min(label + signature, max_cost)
+
+    return algebra_from_rank(
+        name=name,
+        signatures=signatures,
+        labels=tuple(labels),
+        apply_label=apply,
+        rank=lambda s: s,
+        prohibited=INFINITY,
+        originations=(0,),
+        doc="Additive link costs; shortest (cheapest) path preferred.",
+    )
+
+
+def hop_count_algebra(*, max_hops: int = 16, name: str = "hopA") -> RoutingAlgebra:
+    """Hop-count algebra: additive costs with unit labels only."""
+
+    return add_algebra(max_cost=max_hops, labels=(1,), name=name)
+
+
+def local_pref_algebra(
+    *,
+    preferences: Sequence[int] = (0, 1, 2, 3, 4),
+    prohibited: int = 4,
+    name: str = "lpA",
+) -> RoutingAlgebra:
+    """Local-preference algebra from the paper's ``LP`` snippet.
+
+    ``labelApply(l, s) = l`` — applying a link label *replaces* the
+    signature with the label's preference value — and lower preference
+    values are preferred (``prefRel(s1, s2) = s1 <= s2``).  The prohibited
+    signature defaults to 4, matching the paper's ``prohibitPath=4``.
+    """
+
+    signatures = tuple(preferences)
+    if prohibited not in signatures:
+        signatures = signatures + (prohibited,)
+    labels = tuple(s for s in signatures)
+
+    def apply(label, signature):
+        if signature == prohibited or label == prohibited:
+            return prohibited
+        return label
+
+    return algebra_from_rank(
+        name=name,
+        signatures=signatures,
+        labels=labels,
+        apply_label=apply,
+        rank=lambda s: s,
+        prohibited=prohibited,
+        originations=(min(preferences),),
+        doc="BGP local preference; the link label sets the preference value.",
+    )
+
+
+def widest_path_algebra(
+    *,
+    bandwidths: Sequence[int] = (0, 1, 2, 5, 10, 100),
+    name: str = "widestA",
+) -> RoutingAlgebra:
+    """Bottleneck-bandwidth algebra: signature is the narrowest link so far,
+    wider is preferred, ``⊕`` takes the minimum, prohibited is 0."""
+
+    signatures = tuple(sorted(set(bandwidths)))
+
+    def apply(label, signature):
+        return min(label, signature)
+
+    return algebra_from_rank(
+        name=name,
+        signatures=signatures,
+        labels=tuple(s for s in signatures if s > 0),
+        apply_label=apply,
+        rank=lambda s: -s,
+        prohibited=0,
+        originations=(max(signatures),),
+        doc="Widest (bottleneck bandwidth) path; wider preferred.",
+    )
+
+
+def reliability_algebra(
+    *,
+    levels: int = 5,
+    name: str = "reliabilityA",
+) -> RoutingAlgebra:
+    """Multiplicative reliability algebra over a finite probability grid.
+
+    Signatures are probabilities in ``[0, 1]`` (as exact fractions to keep
+    the carrier closed under multiplication up to a floor), larger preferred,
+    prohibited is 0.
+    """
+
+    grid = [Fraction(i, levels) for i in range(levels + 1)]
+    signatures = tuple(grid)
+    labels = tuple(f for f in grid if f > 0)
+
+    def apply(label, signature):
+        product = label * signature
+        # snap down to the carrier grid so the algebra is closed
+        candidates = [g for g in grid if g <= product]
+        return max(candidates) if candidates else Fraction(0)
+
+    return algebra_from_rank(
+        name=name,
+        signatures=signatures,
+        labels=labels,
+        apply_label=apply,
+        rank=lambda s: -s,
+        prohibited=Fraction(0),
+        originations=(Fraction(1),),
+        doc="Most-reliable path; link reliabilities multiply.",
+    )
+
+
+def usable_path_algebra(*, name: str = "usableA") -> RoutingAlgebra:
+    """Two-valued algebra: a path is usable or prohibited; labels allow/deny."""
+
+    USABLE, PROHIBITED = "usable", "prohibited"
+    ALLOW, DENY = "allow", "deny"
+
+    def apply(label, signature):
+        if signature == PROHIBITED or label == DENY:
+            return PROHIBITED
+        return USABLE
+
+    return algebra_from_rank(
+        name=name,
+        signatures=(USABLE, PROHIBITED),
+        labels=(ALLOW, DENY),
+        apply_label=apply,
+        rank=lambda s: 0 if s == USABLE else 1,
+        prohibited=PROHIBITED,
+        originations=(USABLE,),
+        doc="Policy filter: a path is either usable or prohibited.",
+    )
+
+
+def route_cost_algebra(*, max_cost: int = 16, name: str = "RC") -> RoutingAlgebra:
+    """The ``RC`` (route cost) component used by the paper's BGPSystem example;
+    an additive-cost algebra under a different name."""
+
+    return add_algebra(max_cost=max_cost, name=name)
+
+
+#: All base algebra factories, keyed by conventional name (used by E5).
+BASE_ALGEBRA_FACTORIES = {
+    "addA": add_algebra,
+    "hopA": hop_count_algebra,
+    "lpA": local_pref_algebra,
+    "widestA": widest_path_algebra,
+    "reliabilityA": reliability_algebra,
+    "usableA": usable_path_algebra,
+}
+
+
+def all_base_algebras() -> list[RoutingAlgebra]:
+    """Instantiate every base algebra with its default parameters."""
+
+    return [factory() for factory in BASE_ALGEBRA_FACTORIES.values()]

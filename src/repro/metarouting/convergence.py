@@ -1,0 +1,152 @@
+"""Convergence analysis: relating axiom reports to protocol behaviour.
+
+Metarouting reduces convergence verification to the monotonicity and
+isotonicity proofs (paper Section 3.3.1).  This module closes the loop
+empirically: it runs the generic vectoring protocol of
+:mod:`repro.metarouting.routing` under synchronous and randomized
+asynchronous activation schedules and reports whether routing stabilized —
+evidence that the discharged axioms indeed predict behaviour, and a
+counterexample generator when they do not hold.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .algebra import RoutingAlgebra, Signature
+from .axioms import AlgebraReport, check_all_axioms
+from .routing import LabeledGraph, NodeId, RouteEntry, RoutingOutcome, compute_routes
+
+
+@dataclass
+class ConvergenceReport:
+    """Observed behaviour of an algebra-driven protocol on one topology."""
+
+    algebra: str
+    axiom_report: AlgebraReport
+    synchronous: RoutingOutcome
+    asynchronous_converged: list[bool]
+    asynchronous_iterations: list[int]
+
+    @property
+    def predicted_convergent(self) -> bool:
+        return self.axiom_report.is_well_behaved
+
+    @property
+    def observed_convergent(self) -> bool:
+        return self.synchronous.converged and all(self.asynchronous_converged)
+
+    @property
+    def consistent(self) -> bool:
+        """Does observation agree with (or at least not refute) the theory?
+
+        Monotone + isotone ⇒ converges; the converse need not hold, so the
+        only inconsistency is predicted-convergent but observed-divergent.
+        """
+
+        return not (self.predicted_convergent and not self.observed_convergent)
+
+    def summary(self) -> str:
+        return (
+            f"{self.algebra}: predicted={'converges' if self.predicted_convergent else 'no guarantee'}, "
+            f"observed={'converges' if self.observed_convergent else 'diverges/unstable'}, "
+            f"sync iterations={self.synchronous.iterations}"
+        )
+
+
+def asynchronous_routes(
+    algebra: RoutingAlgebra,
+    graph: LabeledGraph,
+    *,
+    seed: int = 0,
+    max_activations: int = 5_000,
+    origination: Optional[Signature] = None,
+) -> tuple[bool, int]:
+    """Randomized asynchronous activation of the vectoring protocol.
+
+    One node/destination pair is recomputed per activation, in random order.
+    Returns ``(converged, activations_used)``: converged means a full sweep
+    with no changes was observed before the activation budget ran out.
+    """
+
+    rng = random.Random(seed)
+    if origination is None:
+        origination = algebra.originations[0] if algebra.originations else algebra.prohibited
+    nodes = graph.nodes
+    tables: dict[NodeId, dict[NodeId, RouteEntry]] = {
+        node: {
+            dst: RouteEntry(
+                origination if node == dst else algebra.prohibited,
+                next_hop=node if node == dst else None,
+                path=(node,) if node == dst else (),
+            )
+            for dst in nodes
+        }
+        for node in nodes
+    }
+
+    def recompute(node: NodeId, dst: NodeId) -> bool:
+        if node == dst:
+            return False
+        best = RouteEntry(algebra.prohibited, None, ())
+        for edge in graph.out_edges(node):
+            neighbour = tables[edge.dst][dst]
+            if algebra.is_prohibited(neighbour.signature) or node in neighbour.path:
+                continue
+            candidate = algebra.apply(edge.label, neighbour.signature)
+            if algebra.is_prohibited(candidate):
+                continue
+            if best.next_hop is None or algebra.strictly_preferred(candidate, best.signature):
+                best = RouteEntry(candidate, edge.dst, (node,) + neighbour.path)
+        current = tables[node][dst]
+        if current.signature != best.signature or current.next_hop != best.next_hop:
+            tables[node][dst] = best
+            return True
+        return False
+
+    pairs = [(n, d) for n in nodes for d in nodes if n != d]
+    activations = 0
+    stable_streak = 0
+    needed_streak = len(pairs)
+    while activations < max_activations:
+        node, dst = rng.choice(pairs)
+        activations += 1
+        if recompute(node, dst):
+            stable_streak = 0
+        else:
+            stable_streak += 1
+            if stable_streak >= needed_streak:
+                # confirm with a full sweep
+                if not any(recompute(n, d) for n, d in pairs):
+                    return True, activations
+                stable_streak = 0
+    return False, activations
+
+
+def analyze_convergence(
+    algebra: RoutingAlgebra,
+    graph: LabeledGraph,
+    *,
+    runs: int = 3,
+    sample: int = 24,
+    max_iterations: int = 200,
+) -> ConvergenceReport:
+    """Check axioms and observe synchronous + asynchronous convergence."""
+
+    axiom_report = check_all_axioms(algebra, sample=sample)
+    synchronous = compute_routes(algebra, graph, max_iterations=max_iterations)
+    async_converged: list[bool] = []
+    async_iters: list[int] = []
+    for seed in range(runs):
+        ok, used = asynchronous_routes(algebra, graph, seed=seed)
+        async_converged.append(ok)
+        async_iters.append(used)
+    return ConvergenceReport(
+        algebra=algebra.name,
+        axiom_report=axiom_report,
+        synchronous=synchronous,
+        asynchronous_converged=async_converged,
+        asynchronous_iterations=async_iters,
+    )

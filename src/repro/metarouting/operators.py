@@ -1,0 +1,188 @@
+"""Composition operators over routing algebras.
+
+Metarouting builds complex protocol algebras by composing base algebras
+(paper Section 3.3.1).  The operator the paper exercises is the **lexical
+product** — ``BGPSystem: THEORY = lexProduct[LP, RC]`` — which compares the
+first component and breaks ties with the second.  This module provides:
+
+* :func:`lex_product` — the lexical product ``A ⊗ B``;
+* :func:`restrict_labels` / :func:`restrict_signatures` — sub-algebra
+  operators used to model policy restrictions;
+* :func:`preservation_conditions` — the metarouting preservation theorem for
+  the lexical product: the product is monotone/isotone when the first
+  component is *strictly* monotone (or both components are monotone and the
+  first is "cancellative"), mirroring the conditions Griffin & Sobrinho prove
+  once-and-for-all so that instantiations discharge automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as cartesian_product
+from typing import Callable, Sequence
+
+from .algebra import Label, RoutingAlgebra, Signature
+from .axioms import check_all_axioms, check_monotonicity
+
+
+def lex_product(
+    first: RoutingAlgebra,
+    second: RoutingAlgebra,
+    *,
+    name: str = "",
+) -> RoutingAlgebra:
+    """The lexical product ``first ⊗ second``.
+
+    Signatures are pairs ``(s1, s2)``; the preference relation compares the
+    first component and breaks ties (equivalence in the first component) with
+    the second; labels are pairs applied componentwise; a pair is prohibited
+    as soon as either component is prohibited.
+    """
+
+    name = name or f"lexProduct[{first.name},{second.name}]"
+    prohibited = (first.prohibited, second.prohibited)
+    signatures = tuple(
+        (s1, s2)
+        for s1, s2 in cartesian_product(first.usable_signatures(), second.usable_signatures())
+    ) + (prohibited,)
+    labels = tuple(cartesian_product(first.labels, second.labels))
+
+    def apply(label: tuple, signature: tuple) -> tuple:
+        l1, l2 = label
+        s1, s2 = signature
+        r1 = first.apply(l1, s1)
+        r2 = second.apply(l2, s2)
+        if first.is_prohibited(r1) or second.is_prohibited(r2):
+            return prohibited
+        return (r1, r2)
+
+    def prefer(a: tuple, b: tuple) -> bool:
+        a1, a2 = a
+        b1, b2 = b
+        if first.strictly_preferred(a1, b1):
+            return True
+        if first.strictly_preferred(b1, a1):
+            return False
+        return second.prefer(a2, b2)
+
+    return RoutingAlgebra(
+        name=name,
+        signatures=signatures,
+        labels=labels,
+        apply_label=apply,
+        prefer=prefer,
+        prohibited=prohibited,
+        originations=tuple(
+            (o1, o2)
+            for o1, o2 in cartesian_product(first.originations, second.originations)
+        ),
+        doc=f"Lexical product of {first.name} and {second.name}.",
+    )
+
+
+def restrict_labels(
+    algebra: RoutingAlgebra,
+    allowed: Sequence[Label],
+    *,
+    name: str = "",
+) -> RoutingAlgebra:
+    """A sub-algebra using only the ``allowed`` labels (policy restriction).
+
+    Restricting labels can only shrink the set of quantified instances, so
+    every axiom that holds for ``algebra`` holds for the restriction — the
+    preservation argument FVN discharges mechanically.
+    """
+
+    kept = tuple(l for l in algebra.labels if l in set(allowed))
+    if not kept:
+        raise ValueError("label restriction would leave no labels")
+    return RoutingAlgebra(
+        name=name or f"{algebra.name}|labels",
+        signatures=algebra.signatures,
+        labels=kept,
+        apply_label=algebra.apply_label,
+        prefer=algebra.prefer,
+        prohibited=algebra.prohibited,
+        originations=algebra.originations,
+        rank=algebra.rank,
+        doc=f"{algebra.name} with labels restricted to {list(kept)!r}.",
+    )
+
+
+def restrict_signatures(
+    algebra: RoutingAlgebra,
+    allowed: Sequence[Signature],
+    *,
+    name: str = "",
+) -> RoutingAlgebra:
+    """A sub-algebra over a subset of signatures (must stay closed under ⊕).
+
+    Raises ``ValueError`` when the subset is not closed under label
+    application, which is itself a generated proof obligation.
+    """
+
+    kept = set(allowed) | {algebra.prohibited}
+    for l in algebra.labels:
+        for s in kept:
+            if algebra.apply(l, s) not in kept:
+                raise ValueError(
+                    f"signature restriction not closed: {l!r} ⊕ {s!r} leaves the subset"
+                )
+    ordered = tuple(s for s in algebra.signatures if s in kept)
+    return RoutingAlgebra(
+        name=name or f"{algebra.name}|sigs",
+        signatures=ordered,
+        labels=algebra.labels,
+        apply_label=algebra.apply_label,
+        prefer=algebra.prefer,
+        prohibited=algebra.prohibited,
+        originations=tuple(o for o in algebra.originations if o in kept),
+        rank=algebra.rank,
+        doc=f"{algebra.name} restricted to {len(ordered)} signatures.",
+    )
+
+
+@dataclass
+class PreservationReport:
+    """Whether a lexical product inherits monotonicity/isotonicity from its
+    components, per the metarouting preservation conditions."""
+
+    product: str
+    first_strictly_monotone: bool
+    first_monotone: bool
+    second_monotone: bool
+    first_isotone: bool
+    second_isotone: bool
+
+    @property
+    def product_monotone_expected(self) -> bool:
+        """Sufficient condition: the first component strictly monotone, or
+        both components monotone with the first also isotone (so ties in the
+        first component are preserved, letting the second component's
+        monotonicity decide)."""
+
+        return self.first_strictly_monotone or (
+            self.first_monotone and self.second_monotone and self.first_isotone
+        )
+
+    @property
+    def product_isotone_expected(self) -> bool:
+        return self.first_isotone and self.second_isotone
+
+
+def preservation_conditions(
+    first: RoutingAlgebra, second: RoutingAlgebra, *, sample: int = 24
+) -> PreservationReport:
+    """Evaluate the lexical-product preservation conditions on the components."""
+
+    first_report = check_all_axioms(first, sample=sample)
+    second_report = check_all_axioms(second, sample=sample)
+    strict = check_monotonicity(first, sample=sample, strict=True)
+    return PreservationReport(
+        product=f"lexProduct[{first.name},{second.name}]",
+        first_strictly_monotone=strict.holds,
+        first_monotone=first_report.reports["monotonicity"].holds,
+        second_monotone=second_report.reports["monotonicity"].holds,
+        first_isotone=first_report.reports["isotonicity"].holds,
+        second_isotone=second_report.reports["isotonicity"].holds,
+    )

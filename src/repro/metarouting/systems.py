@@ -1,0 +1,88 @@
+"""Pre-composed protocol algebras ("systems") built from the base algebras.
+
+The paper's example is ``BGPSystem: THEORY = lexProduct[LP, RC]`` — compare
+local preference first, break ties on route cost.  This module provides that
+system and a few other standard compositions used by the experiments and
+examples, each as a plain function returning a
+:class:`~repro.metarouting.algebra.RoutingAlgebra`.
+"""
+
+from __future__ import annotations
+
+from .algebra import RoutingAlgebra
+from .base import (
+    add_algebra,
+    hop_count_algebra,
+    local_pref_algebra,
+    route_cost_algebra,
+    usable_path_algebra,
+    widest_path_algebra,
+)
+from .operators import lex_product
+
+
+def bgp_system(*, max_cost: int = 16) -> RoutingAlgebra:
+    """``BGPSystem = lexProduct[LP, RC]`` exactly as in the paper.
+
+    Local preference is compared first (lower value preferred, per the
+    paper's ``prefRel(s1, s2) = s1 <= s2``); ties fall through to additive
+    route cost.  Because ``LP`` is not monotone (a link label *sets* the
+    preference), the composed system is not monotone either — the algebraic
+    reflection of BGP's potential for policy-induced divergence (Disagree).
+    """
+
+    return lex_product(
+        local_pref_algebra(),
+        route_cost_algebra(max_cost=max_cost),
+        name="BGPSystem",
+    )
+
+
+def safe_bgp_system(*, max_cost: int = 16) -> RoutingAlgebra:
+    """A convergence-safe variant: hop count first, then route cost.
+
+    Both components are monotone and isotone and the first is strictly
+    monotone, so the lexical product provably satisfies all four axioms —
+    the kind of "relaxed but well-behaved" design FVN is meant to support.
+    """
+
+    return lex_product(
+        hop_count_algebra(max_hops=max_cost),
+        route_cost_algebra(max_cost=max_cost),
+        name="SafeBGPSystem",
+    )
+
+
+def shortest_widest_system(*, max_cost: int = 16) -> RoutingAlgebra:
+    """Widest path first, shortest (cheapest) among the widest."""
+
+    return lex_product(
+        widest_path_algebra(),
+        add_algebra(max_cost=max_cost),
+        name="ShortestWidest",
+    )
+
+
+def policy_shortest_path_system(*, max_cost: int = 16) -> RoutingAlgebra:
+    """Policy filtering first (usable/prohibited), then shortest path."""
+
+    return lex_product(
+        usable_path_algebra(),
+        add_algebra(max_cost=max_cost),
+        name="PolicyShortestPath",
+    )
+
+
+#: All composed systems, keyed by name (used by E5 and the examples).
+SYSTEM_FACTORIES = {
+    "BGPSystem": bgp_system,
+    "SafeBGPSystem": safe_bgp_system,
+    "ShortestWidest": shortest_widest_system,
+    "PolicyShortestPath": policy_shortest_path_system,
+}
+
+
+def all_systems() -> list[RoutingAlgebra]:
+    """Instantiate every composed system with default parameters."""
+
+    return [factory() for factory in SYSTEM_FACTORIES.values()]

@@ -1,0 +1,72 @@
+"""Network Datalog (NDlog): the declarative networking layer of FVN.
+
+This package implements the intermediary language of the FVN framework
+(paper Section 2.2): an NDlog parser, program AST, built-in functions,
+stratified semi-naive evaluation, the localization rewrite used for
+distributed execution, and tuple stores with primary keys and soft-state
+lifetimes.
+
+Quick use::
+
+    from repro.ndlog import parse_program, evaluate
+
+    program = parse_program(PATH_VECTOR_SOURCE)
+    db = evaluate(program, [("link", ("a", "b", 1))])
+    db.rows("bestPath")
+"""
+
+from .aggregates import apply_aggregate, aggregate_rows
+from .ast import (
+    Aggregate,
+    Assignment,
+    Condition,
+    Fact,
+    HeadLiteral,
+    Literal,
+    MaterializeDecl,
+    NDlogError,
+    Program,
+    Rule,
+)
+from .functions import BUILTIN_FUNCTIONS, builtin_registry
+from .localization import LocalizationResult, is_localized, localize_program, localize_rule
+from .parser import ParseError, parse_program, parse_rule, tokenize
+from .seminaive import EvaluationStats, Evaluator, RuleEngine, RuleFiring, evaluate
+from .store import Database, StoredTuple, Table
+from .stratification import DependencyGraph, Stratification, stratify
+
+__all__ = [
+    "Aggregate",
+    "Assignment",
+    "BUILTIN_FUNCTIONS",
+    "Condition",
+    "Database",
+    "DependencyGraph",
+    "EvaluationStats",
+    "Evaluator",
+    "Fact",
+    "HeadLiteral",
+    "Literal",
+    "LocalizationResult",
+    "MaterializeDecl",
+    "NDlogError",
+    "ParseError",
+    "Program",
+    "Rule",
+    "RuleEngine",
+    "RuleFiring",
+    "StoredTuple",
+    "Stratification",
+    "Table",
+    "aggregate_rows",
+    "apply_aggregate",
+    "builtin_registry",
+    "evaluate",
+    "is_localized",
+    "localize_program",
+    "localize_rule",
+    "parse_program",
+    "parse_rule",
+    "stratify",
+    "tokenize",
+]

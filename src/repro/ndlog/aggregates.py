@@ -1,0 +1,84 @@
+"""Aggregate computation for NDlog head aggregates (``min<C>``, ``count<X>``…).
+
+Aggregation in NDlog is *stratified*: a rule with an aggregate head is
+evaluated only after the relations it reads are complete (enforced by
+:mod:`repro.ndlog.stratification`).  Evaluation groups the body's result
+bindings by the non-aggregate head attributes and folds each group with the
+aggregate function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from .ast import Aggregate, HeadLiteral, NDlogError
+
+
+def _agg_min(values: Sequence) -> object:
+    return min(values)
+
+
+def _agg_max(values: Sequence) -> object:
+    return max(values)
+
+
+def _agg_count(values: Sequence) -> int:
+    return len(values)
+
+
+def _agg_sum(values: Sequence) -> object:
+    return sum(values)
+
+
+def _agg_avg(values: Sequence) -> float:
+    return sum(values) / len(values)
+
+
+AGGREGATE_IMPLS: dict[str, Callable[[Sequence], object]] = {
+    "min": _agg_min,
+    "max": _agg_max,
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+}
+
+
+def apply_aggregate(function: str, values: Sequence) -> object:
+    """Fold ``values`` with the named aggregate function."""
+
+    if function not in AGGREGATE_IMPLS:
+        raise NDlogError(f"unknown aggregate function {function!r}")
+    if not values and function != "count":
+        raise NDlogError(f"aggregate {function!r} over an empty group")
+    if not values and function == "count":
+        return 0
+    return AGGREGATE_IMPLS[function](values)
+
+
+def aggregate_rows(head: HeadLiteral, rows: Iterable[tuple]) -> list[tuple]:
+    """Aggregate fully-instantiated head rows.
+
+    ``rows`` are tuples matching the head's arity where aggregate positions
+    hold the raw (un-aggregated) value of the aggregate variable for one body
+    binding.  The result groups rows by the non-aggregate positions and folds
+    each aggregate position over its group.
+    """
+
+    agg_positions = head.aggregates
+    if not agg_positions:
+        return list(dict.fromkeys(tuple(r) for r in rows))
+    group_by = head.group_by_indices
+    groups: dict[tuple, list[tuple]] = {}
+    for row in rows:
+        key = tuple(row[i] for i in group_by)
+        groups.setdefault(key, []).append(tuple(row))
+    out: list[tuple] = []
+    for key, members in groups.items():
+        result = list(members[0])
+        for index, agg in agg_positions:
+            values = [m[index] for m in members]
+            result[index] = apply_aggregate(agg.function, values)
+        for position, value in zip(group_by, key):
+            result[position] = value
+        out.append(tuple(result))
+    return out

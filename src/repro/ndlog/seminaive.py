@@ -1,0 +1,392 @@
+"""Centralized NDlog evaluation (naive joins, semi-naive fixpoint).
+
+This is the reference evaluator: it computes the stratified model of an
+NDlog program over a single database, ignoring distribution.  It is used to
+
+* validate the distributed runtime (both must agree on the final state),
+* validate the NDlog→logic translation (the finite-model fixpoint of the
+  generated inductive definitions must match),
+* execute programs generated from component models (paper Section 3.2.2).
+
+Rules are evaluated by joining body literals left-to-right (after a greedy
+reordering that keeps assignments and conditions evaluable), with semi-naive
+iteration inside each stratum so recursive programs such as the path-vector
+protocol do not recompute the full join every round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..logic.bmc import EvaluationError, FunctionRegistry, ground_eval
+from ..logic.terms import Const, Func, Term, Var
+from .aggregates import aggregate_rows
+from .ast import (
+    Assignment,
+    BodyItem,
+    Condition,
+    Fact,
+    Literal,
+    NDlogError,
+    Program,
+    Rule,
+)
+from .functions import builtin_registry
+from .store import Database
+from .stratification import Stratification, stratify
+
+
+Bindings = dict[Var, object]
+
+
+def _compare(op: str, left: object, right: object) -> bool:
+    if op == "=":
+        return left == right
+    if op == "/=":
+        return left != right
+    if op == "<":
+        return left < right  # type: ignore[operator]
+    if op == "<=":
+        return left <= right  # type: ignore[operator]
+    if op == ">":
+        return left > right  # type: ignore[operator]
+    if op == ">=":
+        return left >= right  # type: ignore[operator]
+    raise NDlogError(f"unknown comparison operator {op!r}")
+
+
+def order_body(rule: Rule) -> list[BodyItem]:
+    """Greedy safe ordering of body items.
+
+    Positive literals come in source order; each assignment/condition/negated
+    literal is placed as soon as its variables are bound.  Raises when the
+    rule cannot be ordered (should have been caught by ``check_safety``).
+    """
+
+    pending: list[BodyItem] = list(rule.body)
+    ordered: list[BodyItem] = []
+    bound: set[Var] = set()
+    while pending:
+        progressed = False
+        for item in list(pending):
+            if isinstance(item, Literal) and not item.negated:
+                ordered.append(item)
+                pending.remove(item)
+                bound |= item.variables()
+                progressed = True
+                break
+            if isinstance(item, Assignment) and item.expression.free_vars() <= bound:
+                ordered.append(item)
+                pending.remove(item)
+                bound.add(item.variable)
+                progressed = True
+                break
+            if isinstance(item, (Condition,)) and item.variables() <= bound:
+                ordered.append(item)
+                pending.remove(item)
+                progressed = True
+                break
+            if isinstance(item, Literal) and item.negated and item.variables() <= bound:
+                ordered.append(item)
+                pending.remove(item)
+                progressed = True
+                break
+        if not progressed:
+            raise NDlogError(f"rule {rule.name}: cannot order body items safely")
+    return ordered
+
+
+def match_literal(
+    literal: Literal,
+    row: Sequence[object],
+    bindings: Bindings,
+    registry: FunctionRegistry,
+) -> Optional[Bindings]:
+    """Match a body literal against a stored row, extending ``bindings``."""
+
+    if len(row) != literal.arity:
+        return None
+    local = dict(bindings)
+    for arg, value in zip(literal.args, row):
+        if isinstance(arg, Var):
+            if arg in local:
+                if local[arg] != value:
+                    return None
+            else:
+                local[arg] = value
+        else:
+            try:
+                if ground_eval(arg, registry, local) != value:
+                    return None
+            except EvaluationError:
+                return None
+    return local
+
+
+@dataclass
+class RuleFiring:
+    """One derived head tuple together with provenance information."""
+
+    rule: str
+    predicate: str
+    values: tuple
+    location: Optional[int]
+
+    @property
+    def location_value(self) -> Optional[object]:
+        if self.location is None:
+            return None
+        return self.values[self.location]
+
+
+class RuleEngine:
+    """Evaluates individual rules against a database."""
+
+    def __init__(self, registry: Optional[FunctionRegistry] = None) -> None:
+        self.registry = registry or builtin_registry()
+        self._order_cache: dict[int, list[BodyItem]] = {}
+
+    # ------------------------------------------------------------------
+    # Body solving
+    # ------------------------------------------------------------------
+    def _ordered_body(self, rule: Rule) -> list[BodyItem]:
+        key = id(rule)
+        if key not in self._order_cache:
+            self._order_cache[key] = order_body(rule)
+        return self._order_cache[key]
+
+    def solve_body(
+        self,
+        rule: Rule,
+        db: Database,
+        *,
+        delta: Optional[Mapping[str, Iterable[tuple]]] = None,
+        initial: Optional[Bindings] = None,
+    ) -> Iterator[Bindings]:
+        """Enumerate variable bindings satisfying the rule body.
+
+        When ``delta`` is given, at least one positive body literal must be
+        matched against a delta tuple (semi-naive restriction).  This is
+        implemented by running one pass per delta-restricted literal
+        position, matching that position against the delta relation and all
+        other positions against the full database.
+        """
+
+        ordered = self._ordered_body(rule)
+        if delta is None:
+            yield from self._solve(ordered, 0, dict(initial or {}), db, None, -1)
+            return
+        positive_positions = [
+            i for i, item in enumerate(ordered) if isinstance(item, Literal) and not item.negated
+        ]
+        seen: set[tuple] = set()
+        for position in positive_positions:
+            literal = ordered[position]
+            assert isinstance(literal, Literal)
+            if literal.predicate not in delta:
+                continue
+            for binding in self._solve(ordered, 0, dict(initial or {}), db, delta, position):
+                key = tuple(sorted((v.name, _hashable(val)) for v, val in binding.items()))
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield binding
+
+    def _solve(
+        self,
+        items: list[BodyItem],
+        index: int,
+        bindings: Bindings,
+        db: Database,
+        delta: Optional[Mapping[str, Iterable[tuple]]],
+        delta_position: int,
+    ) -> Iterator[Bindings]:
+        if index == len(items):
+            yield bindings
+            return
+        item = items[index]
+        if isinstance(item, Literal) and not item.negated:
+            if delta is not None and index == delta_position:
+                rows: Iterable[tuple] = delta.get(item.predicate, ())
+            else:
+                rows = db.rows(item.predicate)
+            for row in rows:
+                local = match_literal(item, row, bindings, self.registry)
+                if local is not None:
+                    yield from self._solve(items, index + 1, local, db, delta, delta_position)
+            return
+        if isinstance(item, Literal) and item.negated:
+            try:
+                values = tuple(ground_eval(a, self.registry, bindings) for a in item.args)
+            except EvaluationError:
+                return
+            if values not in db.table(item.predicate):
+                yield from self._solve(items, index + 1, bindings, db, delta, delta_position)
+            return
+        if isinstance(item, Assignment):
+            try:
+                value = ground_eval(item.expression, self.registry, bindings)
+            except EvaluationError:
+                return
+            if item.variable in bindings:
+                if bindings[item.variable] == value:
+                    yield from self._solve(items, index + 1, bindings, db, delta, delta_position)
+                return
+            local = dict(bindings)
+            local[item.variable] = value
+            yield from self._solve(items, index + 1, local, db, delta, delta_position)
+            return
+        if isinstance(item, Condition):
+            try:
+                left = ground_eval(item.left, self.registry, bindings)
+                right = ground_eval(item.right, self.registry, bindings)
+            except EvaluationError:
+                return
+            if _compare(item.op, left, right):
+                yield from self._solve(items, index + 1, bindings, db, delta, delta_position)
+            return
+        raise NDlogError(f"unsupported body item {item!r}")
+
+    # ------------------------------------------------------------------
+    # Head instantiation
+    # ------------------------------------------------------------------
+    def fire_rule(
+        self,
+        rule: Rule,
+        db: Database,
+        *,
+        delta: Optional[Mapping[str, Iterable[tuple]]] = None,
+    ) -> list[RuleFiring]:
+        """Evaluate a rule, returning the derived head tuples.
+
+        Aggregate rules are recomputed over the full body (aggregation is not
+        meaningfully incremental for ``min``/``max`` under insert-only
+        deltas), grouping per the head's non-aggregate attributes.
+        """
+
+        head = rule.head
+        raw_rows: list[tuple] = []
+        effective_delta = None if head.has_aggregate else delta
+        for binding in self.solve_body(rule, db, delta=effective_delta):
+            row = []
+            for arg in head.plain_args():
+                try:
+                    row.append(ground_eval(arg, self.registry, binding))
+                except EvaluationError as exc:
+                    raise NDlogError(
+                        f"rule {rule.name}: cannot evaluate head argument {arg}: {exc}"
+                    ) from exc
+            raw_rows.append(tuple(row))
+        rows = aggregate_rows(head, raw_rows)
+        return [
+            RuleFiring(rule.name, head.predicate, row, head.location) for row in rows
+        ]
+
+
+def _hashable(value: object) -> object:
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+@dataclass
+class EvaluationStats:
+    """Bookkeeping produced by a centralized evaluation."""
+
+    iterations: int = 0
+    firings: int = 0
+    derived_tuples: int = 0
+    strata: int = 0
+    per_predicate: dict[str, int] = field(default_factory=dict)
+
+
+class Evaluator:
+    """Stratified semi-naive evaluation of a program over one database."""
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        registry: Optional[FunctionRegistry] = None,
+    ) -> None:
+        program.check()
+        self.program = program
+        self.engine = RuleEngine(registry)
+        self.stratification: Stratification = stratify(program)
+
+    def _prepare_database(self, extra_facts: Iterable[Fact | tuple]) -> Database:
+        db = Database()
+        for decl in self.program.materialized.values():
+            db.declare_from(decl)
+        for fact in list(self.program.facts) + list(extra_facts):
+            if isinstance(fact, Fact):
+                db.insert(fact.predicate, fact.values)
+            else:
+                predicate, values = fact
+                db.insert(predicate, tuple(values))
+        return db
+
+    def run(
+        self,
+        extra_facts: Iterable[Fact | tuple] = (),
+        *,
+        max_iterations: int = 10_000,
+    ) -> tuple[Database, EvaluationStats]:
+        """Compute the stratified fixpoint.  Returns the database and stats."""
+
+        db = self._prepare_database(extra_facts)
+        stats = EvaluationStats(strata=self.stratification.stratum_count)
+        for stratum in range(self.stratification.stratum_count):
+            rules = self.stratification.rules_in_stratum(self.program, stratum)
+            if not rules:
+                continue
+            aggregate_rules = [r for r in rules if r.head.has_aggregate]
+            plain_rules = [r for r in rules if not r.head.has_aggregate]
+            # Aggregate rules read lower strata only (enforced by stratify),
+            # so one evaluation pass at stratum entry suffices.
+            for rule in aggregate_rules:
+                for firing in self.engine.fire_rule(rule, db):
+                    stats.firings += 1
+                    if db.insert(firing.predicate, firing.values):
+                        stats.derived_tuples += 1
+                        stats.per_predicate[firing.predicate] = (
+                            stats.per_predicate.get(firing.predicate, 0) + 1
+                        )
+            # Semi-naive fixpoint over the remaining rules.
+            delta: dict[str, set[tuple]] = {
+                p: set(db.rows(p)) for p in db.predicates() if db.rows(p)
+            }
+            first_round = True
+            while delta:
+                stats.iterations += 1
+                if stats.iterations > max_iterations:
+                    raise NDlogError("evaluation did not reach a fixpoint (bound exceeded)")
+                new_delta: dict[str, set[tuple]] = {}
+                for rule in plain_rules:
+                    firings = self.engine.fire_rule(
+                        rule, db, delta=None if first_round else delta
+                    )
+                    for firing in firings:
+                        stats.firings += 1
+                        if db.insert(firing.predicate, firing.values):
+                            stats.derived_tuples += 1
+                            stats.per_predicate[firing.predicate] = (
+                                stats.per_predicate.get(firing.predicate, 0) + 1
+                            )
+                            new_delta.setdefault(firing.predicate, set()).add(firing.values)
+                delta = new_delta
+                first_round = False
+        return db, stats
+
+
+def evaluate(
+    program: Program,
+    extra_facts: Iterable[Fact | tuple] = (),
+    *,
+    registry: Optional[FunctionRegistry] = None,
+) -> Database:
+    """Convenience wrapper: evaluate and return just the database."""
+
+    db, _ = Evaluator(program, registry=registry).run(extra_facts)
+    return db

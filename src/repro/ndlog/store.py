@@ -1,0 +1,241 @@
+"""Tuple storage for NDlog relations.
+
+A :class:`Table` stores ground tuples for one predicate, with:
+
+* optional **primary keys** (``keys(...)`` from ``materialize`` declarations)
+  — inserting a tuple with an existing key replaces the old tuple, which is
+  how declarative networking implements route updates in place;
+* optional **soft-state lifetimes** — tuples expire ``lifetime`` seconds
+  after their last insertion/refresh (paper Section 4.2);
+* optional **maximum size** with FIFO eviction.
+
+A :class:`Database` is a collection of tables keyed by predicate name, the
+unit of state held by the centralized evaluator and by each node of the
+distributed runtime.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .ast import MaterializeDecl
+
+
+@dataclass(frozen=True)
+class StoredTuple:
+    """A tuple plus its bookkeeping (insertion time, expiry time)."""
+
+    values: tuple
+    inserted_at: float = 0.0
+    expires_at: float = float("inf")
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class Table:
+    """Tuples of a single predicate."""
+
+    def __init__(
+        self,
+        predicate: str,
+        *,
+        keys: Sequence[int] = (),
+        lifetime: float = float("inf"),
+        max_size: float = float("inf"),
+    ) -> None:
+        self.predicate = predicate
+        #: 0-based key attribute positions (empty means the whole tuple is the key)
+        self.keys = tuple(keys)
+        self.lifetime = lifetime
+        self.max_size = max_size
+        self._rows: "OrderedDict[tuple, StoredTuple]" = OrderedDict()
+
+    @classmethod
+    def from_declaration(cls, decl: MaterializeDecl) -> "Table":
+        # materialize keys are 1-based in the P2 syntax
+        zero_based = tuple(k - 1 for k in decl.keys)
+        return cls(
+            decl.predicate,
+            keys=zero_based,
+            lifetime=decl.lifetime,
+            max_size=decl.max_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def key_of(self, values: Sequence[object]) -> tuple:
+        if not self.keys:
+            return tuple(values)
+        return tuple(values[k] for k in self.keys)
+
+    @property
+    def is_soft_state(self) -> bool:
+        return self.lifetime != float("inf")
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, values: Sequence[object], now: float = 0.0) -> bool:
+        """Insert or refresh a tuple.
+
+        Returns ``True`` when the table content changed (a genuinely new
+        tuple, or an existing key re-bound to different values).  A pure
+        refresh of an identical soft-state tuple extends its lifetime but
+        reports ``False`` so semi-naive evaluation does not re-fire rules.
+        """
+
+        row = tuple(values)
+        key = self.key_of(row)
+        expires = now + self.lifetime if self.is_soft_state else float("inf")
+        existing = self._rows.get(key)
+        self._rows[key] = StoredTuple(row, now, expires)
+        if existing is not None and existing.values == row:
+            return False
+        if existing is None and len(self._rows) > self.max_size:
+            # FIFO eviction of the oldest entry that is not the new one
+            oldest_key = next(iter(self._rows))
+            if oldest_key != key:
+                del self._rows[oldest_key]
+        return existing is None or existing.values != row
+
+    def current(self, values: Sequence[object]) -> Optional[tuple]:
+        """The row currently stored under the key of ``values``, if any."""
+
+        stored = self._rows.get(self.key_of(tuple(values)))
+        return stored.values if stored is not None else None
+
+    def delete(self, values: Sequence[object]) -> bool:
+        """Delete a tuple (by key).  Returns ``True`` if present."""
+
+        key = self.key_of(tuple(values))
+        if key in self._rows:
+            del self._rows[key]
+            return True
+        return False
+
+    def expire(self, now: float) -> list[tuple]:
+        """Remove expired soft-state tuples, returning the removed rows."""
+
+        if not self.is_soft_state:
+            return []
+        removed = [st.values for st in self._rows.values() if st.is_expired(now)]
+        if removed:
+            self._rows = OrderedDict(
+                (k, st) for k, st in self._rows.items() if not st.is_expired(now)
+            )
+        return removed
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def rows(self) -> list[tuple]:
+        return [st.values for st in self._rows.values()]
+
+    def stored(self) -> list[StoredTuple]:
+        return list(self._rows.values())
+
+    def __contains__(self, values: Sequence[object]) -> bool:
+        row = tuple(values)
+        stored = self._rows.get(self.key_of(row))
+        return stored is not None and stored.values == row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.predicate}, {len(self)} rows)"
+
+
+class Database:
+    """A named collection of tables (one per predicate)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def declare(
+        self,
+        predicate: str,
+        *,
+        keys: Sequence[int] = (),
+        lifetime: float = float("inf"),
+        max_size: float = float("inf"),
+    ) -> Table:
+        """Declare (or re-declare) a table with storage properties."""
+
+        table = Table(predicate, keys=keys, lifetime=lifetime, max_size=max_size)
+        existing = self._tables.get(predicate)
+        if existing is not None:
+            for row in existing.rows():
+                table.insert(row)
+        self._tables[predicate] = table
+        return table
+
+    def declare_from(self, decl: MaterializeDecl) -> Table:
+        table = Table.from_declaration(decl)
+        self._tables[decl.predicate] = table
+        return table
+
+    def table(self, predicate: str) -> Table:
+        if predicate not in self._tables:
+            self._tables[predicate] = Table(predicate)
+        return self._tables[predicate]
+
+    def has_table(self, predicate: str) -> bool:
+        return predicate in self._tables
+
+    def insert(self, predicate: str, values: Sequence[object], now: float = 0.0) -> bool:
+        return self.table(predicate).insert(values, now)
+
+    def delete(self, predicate: str, values: Sequence[object]) -> bool:
+        return self.table(predicate).delete(values)
+
+    def rows(self, predicate: str) -> list[tuple]:
+        return self.table(predicate).rows() if predicate in self._tables else []
+
+    def expire(self, now: float) -> dict[str, list[tuple]]:
+        """Expire soft state in every table; returns removed rows per predicate."""
+
+        removed: dict[str, list[tuple]] = {}
+        for predicate, table in self._tables.items():
+            gone = table.expire(now)
+            if gone:
+                removed[predicate] = gone
+        return removed
+
+    def predicates(self) -> list[str]:
+        return sorted(self._tables)
+
+    def fact_count(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def snapshot(self) -> dict[str, set[tuple]]:
+        """An immutable-ish snapshot used for convergence detection."""
+
+        return {p: set(t.rows()) for p, t in self._tables.items()}
+
+    def copy(self) -> "Database":
+        out = Database()
+        for predicate, table in self._tables.items():
+            new = Table(
+                predicate,
+                keys=table.keys,
+                lifetime=table.lifetime,
+                max_size=table.max_size,
+            )
+            for stored in table.stored():
+                new.insert(stored.values, stored.inserted_at)
+            out._tables[predicate] = new
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.fact_count()} facts in {len(self._tables)} tables)"

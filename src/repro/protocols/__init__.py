@@ -1,0 +1,38 @@
+"""The protocol library: NDlog programs with typed Python front ends.
+
+* :mod:`repro.protocols.pathvector` — the paper's running example (r1–r4);
+* :mod:`repro.protocols.distancevector` — distance vector, including the
+  dynamic simulator that exhibits count-to-infinity;
+* :mod:`repro.protocols.linkstate` — link-state flooding plus local SPF;
+* :mod:`repro.protocols.heartbeat` — the soft-state workload for §4.2.
+"""
+
+from .distancevector import (
+    CountToInfinityReport,
+    DISTANCE_VECTOR_SOURCE,
+    DistanceVectorSimulator,
+    INFINITY_METRIC,
+    distance_vector_program,
+)
+from .heartbeat import HEARTBEAT_SOURCE, heartbeat_facts, heartbeat_program
+from .linkstate import LINK_STATE_SOURCE, LinkStateProtocol, LinkStateRoute, link_state_program
+from .pathvector import PATH_VECTOR_SOURCE, BestPath, PathVectorProtocol, path_vector_program
+
+__all__ = [
+    "BestPath",
+    "CountToInfinityReport",
+    "DISTANCE_VECTOR_SOURCE",
+    "DistanceVectorSimulator",
+    "HEARTBEAT_SOURCE",
+    "INFINITY_METRIC",
+    "LINK_STATE_SOURCE",
+    "LinkStateProtocol",
+    "LinkStateRoute",
+    "PATH_VECTOR_SOURCE",
+    "PathVectorProtocol",
+    "distance_vector_program",
+    "heartbeat_facts",
+    "heartbeat_program",
+    "link_state_program",
+    "path_vector_program",
+]

@@ -1,0 +1,224 @@
+"""The distance-vector protocol: NDlog form and dynamic simulator.
+
+The paper (Section 3.1, citing reference [22]) notes that FVN can prove the
+*presence* of count-to-infinity loops in the distance-vector protocol.  Two
+artifacts support reproducing that claim:
+
+* :data:`DISTANCE_VECTOR_SOURCE` / :func:`distance_vector_program` — the
+  protocol in NDlog (hop-count Bellman–Ford with a ``min`` aggregate), which
+  the NDlog→logic translation verifies and whose static fixpoint matches the
+  path-vector costs on stable topologies;
+* :class:`DistanceVectorSimulator` — the *dynamic* protocol with periodic
+  advertisement rounds and update/withdraw semantics, which is where
+  count-to-infinity actually manifests: after a destination is partitioned
+  away, neighbouring routers keep offering each other stale routes whose
+  metric climbs by one every round until the ``infinity`` bound (16, as in
+  RIP) is reached.  Split horizon can be enabled to show the mitigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional
+
+from ..dn.network import Topology
+from ..ndlog.ast import Program
+from ..ndlog.parser import parse_program
+
+
+DISTANCE_VECTOR_SOURCE = """
+/* distance-vector protocol (bounded-metric Bellman-Ford).
+   The metric is bounded by the RIP-style infinity (16): distance-vector
+   routers carry no path information, so the bounded metric is what keeps the
+   declarative fixpoint finite (and is precisely what turns routing loops
+   into the count-to-infinity behaviour of the dynamic protocol). */
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(cost, infinity, infinity, keys(1,2,3,4)).
+materialize(bestCost, infinity, infinity, keys(1,2)).
+materialize(route, infinity, infinity, keys(1,2)).
+
+dv1 cost(@S,D,D,C) :- link(@S,D,C), C<=16.
+dv2 cost(@S,D,Z,C) :- link(@S,Z,C1), cost(@Z,D,W,C2), C=C1+C2, S!=D, C<=16.
+dv3 bestCost(@S,D,min<C>) :- cost(@S,D,Z,C).
+dv4 route(@S,D,Z) :- bestCost(@S,D,C), cost(@S,D,Z,C).
+"""
+
+#: The conventional RIP infinity metric.
+INFINITY_METRIC = 16
+
+
+def distance_vector_program(name: str = "distancevector") -> Program:
+    """The parsed distance-vector NDlog program."""
+
+    return parse_program(DISTANCE_VECTOR_SOURCE, name)
+
+
+@dataclass
+class RoundRecord:
+    """Per-round observation of the dynamic simulation."""
+
+    round_index: int
+    metrics: dict[tuple[Hashable, Hashable], float]
+    changed: bool
+    max_metric: float
+
+
+@dataclass
+class CountToInfinityReport:
+    """Outcome of a failure experiment on the distance-vector simulator."""
+
+    converged_before_failure: bool
+    rounds_before_failure: int
+    rounds_after_failure: int
+    count_to_infinity: bool
+    max_metric_seen: float
+    metric_trajectory: list[float]
+    infinity: int
+
+    def summary(self) -> str:
+        behaviour = (
+            f"count-to-infinity (metric climbed to {self.max_metric_seen} >= {self.infinity})"
+            if self.count_to_infinity
+            else f"converged after failure in {self.rounds_after_failure} rounds"
+        )
+        return f"distance-vector: {behaviour}"
+
+
+class DistanceVectorSimulator:
+    """Synchronous-round distance-vector dynamics with update semantics.
+
+    Each round every node advertises its full distance vector to its
+    neighbours; each node then recomputes its vector as the minimum over
+    neighbours of (link cost + advertised metric), capping at ``infinity``.
+    Unlike the monotone NDlog fixpoint, entries can *increase* when the
+    underlying topology changes, which is what exposes count-to-infinity.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        infinity: int = INFINITY_METRIC,
+        split_horizon: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.infinity = infinity
+        self.split_horizon = split_horizon
+        #: vectors[node][destination] = (metric, next_hop)
+        self.vectors: dict[Hashable, dict[Hashable, tuple[float, Optional[Hashable]]]] = {
+            node: {node: (0.0, node)} for node in topology.nodes
+        }
+        self.rounds: list[RoundRecord] = []
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def advertised_vector(self, node: Hashable, neighbour: Hashable) -> dict[Hashable, float]:
+        """The vector ``node`` advertises to ``neighbour`` (split horizon aware)."""
+
+        vector: dict[Hashable, float] = {}
+        for destination, (metric, next_hop) in self.vectors[node].items():
+            if self.split_horizon and next_hop == neighbour and destination != node:
+                continue
+            vector[destination] = metric
+        return vector
+
+    def step(self) -> RoundRecord:
+        """One synchronous advertisement + recomputation round."""
+
+        announcements: dict[Hashable, list[tuple[Hashable, float, dict[Hashable, float]]]] = {
+            node: [] for node in self.topology.nodes
+        }
+        for link in self.topology.up_links():
+            announcements[link.dst].append(
+                (link.src, link.cost, self.advertised_vector(link.src, link.dst))
+            )
+        changed = False
+        new_vectors: dict[Hashable, dict[Hashable, tuple[float, Optional[Hashable]]]] = {}
+        for node in self.topology.nodes:
+            vector: dict[Hashable, tuple[float, Optional[Hashable]]] = {node: (0.0, node)}
+            for neighbour, link_cost, advertised in announcements[node]:
+                for destination, metric in advertised.items():
+                    if destination == node:
+                        continue
+                    candidate = min(metric + link_cost, self.infinity)
+                    current = vector.get(destination)
+                    if current is None or candidate < current[0]:
+                        vector[destination] = (candidate, neighbour)
+            if vector != self.vectors[node]:
+                changed = True
+            new_vectors[node] = vector
+        self.vectors = new_vectors
+        metrics = {
+            (node, dest): metric
+            for node, vector in self.vectors.items()
+            for dest, (metric, _) in vector.items()
+        }
+        record = RoundRecord(
+            round_index=len(self.rounds) + 1,
+            metrics=metrics,
+            changed=changed,
+            max_metric=max((m for m in metrics.values()), default=0.0),
+        )
+        self.rounds.append(record)
+        return record
+
+    def run_to_convergence(self, *, max_rounds: int = 64) -> tuple[int, bool]:
+        """Iterate until the vectors stop changing."""
+
+        for round_index in range(1, max_rounds + 1):
+            if not self.step().changed:
+                return round_index, True
+        return max_rounds, False
+
+    def metric(self, node: Hashable, destination: Hashable) -> float:
+        entry = self.vectors.get(node, {}).get(destination)
+        return entry[0] if entry else float(self.infinity)
+
+    # ------------------------------------------------------------------
+    # The count-to-infinity experiment
+    # ------------------------------------------------------------------
+    def failure_experiment(
+        self,
+        fail_src: Hashable,
+        fail_dst: Hashable,
+        *,
+        observe: Optional[tuple[Hashable, Hashable]] = None,
+        max_rounds_after: int = 64,
+    ) -> CountToInfinityReport:
+        """Converge, fail a link, and watch the observed metric climb.
+
+        ``observe`` selects the (node, destination) metric to track; by
+        default the metric from ``fail_src`` towards ``fail_dst``.
+        """
+
+        rounds_before, converged = self.run_to_convergence()
+        self.topology.fail_link(fail_src, fail_dst)
+        observed = observe if observe is not None else (fail_src, fail_dst)
+        trajectory: list[float] = [self.metric(*observed)]
+        rounds_after = 0
+        for _ in range(max_rounds_after):
+            record = self.step()
+            rounds_after += 1
+            trajectory.append(self.metric(*observed))
+            if not record.changed:
+                break
+        max_metric = max(trajectory)
+        # Count-to-infinity means the metric *climbs* through intermediate
+        # values towards the infinity bound (bouncing between stale routes) —
+        # as opposed to jumping straight to "unreachable", which is the
+        # correct behaviour split horizon produces on two-node loops.
+        initial = trajectory[0]
+        intermediates = {
+            value for value in trajectory if initial < value < self.infinity
+        }
+        counts_up = max_metric >= self.infinity and len(intermediates) >= 2
+        return CountToInfinityReport(
+            converged_before_failure=converged,
+            rounds_before_failure=rounds_before,
+            rounds_after_failure=rounds_after,
+            count_to_infinity=counts_up,
+            max_metric_seen=max_metric,
+            metric_trajectory=trajectory,
+            infinity=self.infinity,
+        )

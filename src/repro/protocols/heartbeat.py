@@ -1,0 +1,45 @@
+"""A soft-state heartbeat / neighbour-liveness protocol.
+
+Soft state (paper Section 4.2) is central to many protocols: a fact is valid
+only while it keeps being refreshed.  This small protocol declares the
+``heartbeat`` relation with a finite lifetime; ``alive`` is derived from
+recent heartbeats and therefore also expires unless refreshed.  It is the
+workload for experiment E7: the soft-state → hard-state rewrite is applied
+to it (measuring the encoding blow-up), and the transition-system model
+checker verifies that without refresh every ``alive`` fact eventually
+disappears.
+"""
+
+from __future__ import annotations
+
+from ..ndlog.ast import Program
+from ..ndlog.parser import parse_program
+
+
+HEARTBEAT_SOURCE = """
+/* soft-state heartbeat protocol: liveness facts expire unless refreshed */
+materialize(neighbor, infinity, infinity, keys(1,2)).
+materialize(heartbeat, 3, infinity, keys(1,2)).
+materialize(alive, 3, infinity, keys(1,2)).
+materialize(reachableAlive, 3, infinity, keys(1,2)).
+
+hb1 alive(@S,N) :- heartbeat(@S,N), neighbor(@S,N).
+hb2 reachableAlive(@S,N) :- alive(@S,N).
+hb3 reachableAlive(@S,M) :- alive(@S,N), reachableAlive(@N,M).
+"""
+
+
+def heartbeat_program(name: str = "heartbeat") -> Program:
+    """The parsed soft-state heartbeat program (3-second lifetimes)."""
+
+    return parse_program(HEARTBEAT_SOURCE, name)
+
+
+def heartbeat_facts(pairs: list[tuple]) -> list[tuple[str, tuple]]:
+    """``neighbor`` + initial ``heartbeat`` facts for the given (S, N) pairs."""
+
+    facts: list[tuple[str, tuple]] = []
+    for s, n in pairs:
+        facts.append(("neighbor", (s, n)))
+        facts.append(("heartbeat", (s, n)))
+    return facts

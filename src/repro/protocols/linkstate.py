@@ -1,0 +1,95 @@
+"""A link-state protocol in NDlog: flooding plus local shortest-path.
+
+Included as the third protocol of the library (the paper's framework is
+protocol-agnostic): link-state advertisements (LSAs) are flooded to every
+node, after which each node holds the full topology and the same ``path`` /
+``bestPath`` rules as the path-vector program compute routes locally.  The
+flooding rules exercise multi-location NDlog rules and the localization
+rewrite on a different communication pattern than path vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from ..dn.engine import DistributedEngine, EngineConfig
+from ..dn.network import Topology
+from ..dn.trace import Trace
+from ..ndlog.ast import Program
+from ..ndlog.parser import parse_program
+
+
+LINK_STATE_SOURCE = """
+/* link-state protocol: flood LSAs, then compute shortest paths locally */
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(lsa, infinity, infinity, keys(1,2,3)).
+materialize(lpath, infinity, infinity, keys(1,2,3,4)).
+materialize(bestLCost, infinity, infinity, keys(1,2,3)).
+
+ls1 lsa(@S,A,B,C) :- link(@S,B,C), A=S.
+ls2 lsa(@N,A,B,C) :- link(@S,N,C1), lsa(@S,A,B,C).
+
+ls3 lpath(@S,A,B,P,C) :- lsa(@S,A,B,C), P=f_init(A,B).
+ls4 lpath(@S,A,B,P,C) :- lpath(@S,A,Z,P1,C1), lsa(@S,Z,B,C2),
+                         C=C1+C2, P=f_appendPath(P1,B), f_inPath(P1,B)=false.
+ls5 bestLCost(@S,A,B,min<C>) :- lpath(@S,A,B,P,C).
+"""
+
+
+def link_state_program(name: str = "linkstate") -> Program:
+    """The parsed link-state NDlog program."""
+
+    return parse_program(LINK_STATE_SOURCE, name)
+
+
+@dataclass(frozen=True)
+class LinkStateRoute:
+    """A shortest-path cost computed at a node from its link-state database."""
+
+    node: Hashable
+    source: Hashable
+    destination: Hashable
+    cost: float
+
+
+class LinkStateProtocol:
+    """Typed front end over the link-state NDlog program."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.program = link_state_program()
+        self._engine: Optional[DistributedEngine] = None
+
+    def run_distributed(
+        self, *, config: Optional[EngineConfig] = None, until: float = float("inf")
+    ) -> Trace:
+        self._engine = DistributedEngine(self.program, self.topology, config=config)
+        return self._engine.run(until=until)
+
+    def lsa_database_size(self, node: Hashable) -> int:
+        """Number of LSAs held at a node (full flooding ⇒ all links everywhere)."""
+
+        if self._engine is None:
+            raise RuntimeError("run_distributed() first")
+        return len(self._engine.rows("lsa", node))
+
+    def best_costs(self, node: Hashable) -> list[LinkStateRoute]:
+        """All-pairs best costs as known at one node."""
+
+        if self._engine is None:
+            raise RuntimeError("run_distributed() first")
+        return [
+            LinkStateRoute(node=row[0], source=row[1], destination=row[2], cost=row[3])
+            for row in self._engine.rows("bestLCost", node)
+        ]
+
+    def best_cost(self, node: Hashable, source: Hashable, destination: Hashable) -> Optional[float]:
+        for route in self.best_costs(node):
+            if route.source == source and route.destination == destination:
+                return route.cost
+        return None
+
+    @property
+    def message_count(self) -> int:
+        return self._engine.total_messages() if self._engine else 0

@@ -1,0 +1,33 @@
+"""Workload generation: topologies and dynamic perturbation scripts."""
+
+from .events import (
+    WorkloadEvent,
+    WorkloadScript,
+    periodic_refresh_workload,
+    random_failure_workload,
+)
+from .topologies import (
+    as_hierarchy_topology,
+    grid_topology,
+    labeled_edges,
+    line_topology,
+    random_topology,
+    ring_topology,
+    star_topology,
+    to_edge_list,
+)
+
+__all__ = [
+    "WorkloadEvent",
+    "WorkloadScript",
+    "as_hierarchy_topology",
+    "grid_topology",
+    "labeled_edges",
+    "line_topology",
+    "periodic_refresh_workload",
+    "random_failure_workload",
+    "random_topology",
+    "ring_topology",
+    "star_topology",
+    "to_edge_list",
+]

@@ -1,0 +1,138 @@
+"""Dynamic workloads: link failures, cost changes, and refresh schedules.
+
+Experiments that study protocol dynamics (count-to-infinity, convergence
+after failure, soft-state refresh) need scripted perturbation sequences.
+A :class:`WorkloadScript` is a list of timed events that can be applied to a
+:class:`~repro.dn.engine.DistributedEngine` or replayed against the
+protocol simulators.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Literal, Optional
+
+from ..dn.engine import DistributedEngine
+from ..dn.network import Topology
+
+
+EventKind = Literal["fail_link", "restore_link", "set_cost", "inject_fact"]
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One scheduled perturbation."""
+
+    at: float
+    kind: EventKind
+    src: Optional[Hashable] = None
+    dst: Optional[Hashable] = None
+    cost: Optional[float] = None
+    predicate: Optional[str] = None
+    values: Optional[tuple] = None
+
+
+@dataclass
+class WorkloadScript:
+    """A time-ordered list of perturbations."""
+
+    events: list[WorkloadEvent] = field(default_factory=list)
+
+    def add(self, event: WorkloadEvent) -> "WorkloadScript":
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.at)
+        return self
+
+    def fail_link(self, src: Hashable, dst: Hashable, at: float) -> "WorkloadScript":
+        return self.add(WorkloadEvent(at=at, kind="fail_link", src=src, dst=dst))
+
+    def restore_link(self, src: Hashable, dst: Hashable, at: float) -> "WorkloadScript":
+        return self.add(WorkloadEvent(at=at, kind="restore_link", src=src, dst=dst))
+
+    def set_cost(self, src: Hashable, dst: Hashable, cost: float, at: float) -> "WorkloadScript":
+        return self.add(WorkloadEvent(at=at, kind="set_cost", src=src, dst=dst, cost=cost))
+
+    def inject(self, predicate: str, values: tuple, at: float) -> "WorkloadScript":
+        return self.add(
+            WorkloadEvent(at=at, kind="inject_fact", predicate=predicate, values=tuple(values))
+        )
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply_to_engine(self, engine: DistributedEngine) -> None:
+        """Schedule every event on a distributed engine (before ``run``)."""
+
+        for event in self.events:
+            if event.kind == "fail_link":
+                engine.schedule_link_failure(event.src, event.dst, event.at)
+            elif event.kind == "set_cost":
+                engine.schedule_cost_change(event.src, event.dst, event.cost or 1.0, event.at)
+            elif event.kind == "inject_fact":
+                engine.schedule_fact(event.predicate or "", event.values or (), event.at)
+            elif event.kind == "restore_link":
+                # restoration re-injects the link facts once the topology is up
+                def make_restore(src=event.src, dst=event.dst):
+                    def restore() -> None:
+                        for link in engine.topology.restore_link(src, dst):
+                            engine.schedule_fact(
+                                engine.config.link_predicate or "link",
+                                link.as_fact(),
+                                engine.scheduler.now,
+                            )
+
+                    return restore
+
+                from ..dn.events import Event
+
+                engine.scheduler.schedule_at(event.at, Event("restore", make_restore(), "restore"))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def random_failure_workload(
+    topology: Topology,
+    *,
+    failures: int = 3,
+    start: float = 1.0,
+    spacing: float = 1.0,
+    seed: int = 0,
+) -> WorkloadScript:
+    """A script failing ``failures`` random distinct links at regular intervals."""
+
+    rng = random.Random(seed)
+    links = [(l.src, l.dst) for l in topology.up_links()]
+    rng.shuffle(links)
+    chosen: list[tuple] = []
+    seen: set[frozenset] = set()
+    for src, dst in links:
+        key = frozenset((src, dst))
+        if key in seen:
+            continue
+        seen.add(key)
+        chosen.append((src, dst))
+        if len(chosen) >= failures:
+            break
+    script = WorkloadScript()
+    for index, (src, dst) in enumerate(chosen):
+        script.fail_link(src, dst, start + index * spacing)
+    return script
+
+
+def periodic_refresh_workload(
+    facts: Iterable[tuple[str, tuple]],
+    *,
+    period: float,
+    repetitions: int,
+    start: float = 0.0,
+) -> WorkloadScript:
+    """A script re-injecting soft-state facts every ``period`` seconds."""
+
+    script = WorkloadScript()
+    for repetition in range(repetitions):
+        at = start + repetition * period
+        for predicate, values in facts:
+            script.inject(predicate, tuple(values), at)
+    return script

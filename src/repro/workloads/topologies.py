@@ -1,0 +1,134 @@
+"""Topology generators for experiments and examples.
+
+Generators return :class:`~repro.dn.network.Topology` objects (for the
+distributed runtime) and can also emit plain edge lists for the SPP/algebra
+layers.  Deterministic seeds keep benchmark runs reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Optional
+
+import networkx as nx
+
+from ..dn.network import Topology
+
+
+def line_topology(n: int, *, cost: float = 1.0, delay: float = 0.01) -> Topology:
+    """A line of ``n`` nodes: 0 - 1 - 2 - ... - (n-1)."""
+
+    topo = Topology(default_delay=delay)
+    for i in range(n - 1):
+        topo.add_link(i, i + 1, cost=cost)
+    if n == 1:
+        topo.add_node(0)
+    return topo
+
+
+def ring_topology(n: int, *, cost: float = 1.0, delay: float = 0.01) -> Topology:
+    """A ring of ``n`` nodes."""
+
+    topo = line_topology(n, cost=cost, delay=delay)
+    if n > 2:
+        topo.add_link(n - 1, 0, cost=cost)
+    return topo
+
+
+def star_topology(n: int, *, cost: float = 1.0, delay: float = 0.01) -> Topology:
+    """A hub (node 0) with ``n - 1`` spokes."""
+
+    topo = Topology(default_delay=delay)
+    for i in range(1, n):
+        topo.add_link(0, i, cost=cost)
+    return topo
+
+
+def grid_topology(rows: int, cols: int, *, cost: float = 1.0, delay: float = 0.01) -> Topology:
+    """A rows×cols grid; node ids are (row, col) tuples."""
+
+    topo = Topology(default_delay=delay)
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                topo.add_link((r, c), (r, c + 1), cost=cost)
+            if r + 1 < rows:
+                topo.add_link((r, c), (r + 1, c), cost=cost)
+    return topo
+
+
+def random_topology(
+    n: int,
+    *,
+    edge_probability: float = 0.3,
+    seed: int = 0,
+    max_cost: int = 5,
+    delay: float = 0.01,
+) -> Topology:
+    """A connected Erdős–Rényi-style random topology with random link costs.
+
+    Connectivity is guaranteed by first laying down a random spanning tree,
+    then adding each remaining edge with ``edge_probability``.
+    """
+
+    rng = random.Random(seed)
+    nodes = list(range(n))
+    topo = Topology(default_delay=delay)
+    shuffled = nodes[:]
+    rng.shuffle(shuffled)
+    for i in range(1, n):
+        parent = shuffled[rng.randrange(i)]
+        topo.add_link(shuffled[i], parent, cost=rng.randint(1, max_cost))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if topo.link(i, j) is None and rng.random() < edge_probability:
+                topo.add_link(i, j, cost=rng.randint(1, max_cost))
+    return topo
+
+
+def as_hierarchy_topology(
+    tiers: tuple[int, ...] = (2, 4, 8),
+    *,
+    seed: int = 0,
+    delay: float = 0.01,
+) -> tuple[Topology, list[tuple[Hashable, Hashable]]]:
+    """A simple AS-level hierarchy: tier-1 clique, lower tiers multi-home upward.
+
+    Returns the topology plus the customer→provider pairs (for Gao–Rexford
+    policies).  Node ids are ``"t<tier>_<index>"`` strings.
+    """
+
+    rng = random.Random(seed)
+    topo = Topology(default_delay=delay)
+    customer_provider: list[tuple[Hashable, Hashable]] = []
+    tier_nodes: list[list[str]] = []
+    for tier_index, count in enumerate(tiers):
+        tier_nodes.append([f"t{tier_index}_{i}" for i in range(count)])
+    # tier-1 full mesh
+    top = tier_nodes[0]
+    for i in range(len(top)):
+        for j in range(i + 1, len(top)):
+            topo.add_link(top[i], top[j], cost=1)
+    # each lower-tier node homes to 1-2 providers in the tier above
+    for tier_index in range(1, len(tier_nodes)):
+        for node in tier_nodes[tier_index]:
+            providers = rng.sample(
+                tier_nodes[tier_index - 1], k=min(2, len(tier_nodes[tier_index - 1]))
+            )
+            for provider in providers:
+                topo.add_link(node, provider, cost=1)
+                customer_provider.append((node, provider))
+    return topo, customer_provider
+
+
+def to_edge_list(topology: Topology) -> list[tuple[Hashable, Hashable, float]]:
+    """The topology's up links as (src, dst, cost) triples."""
+
+    return [(l.src, l.dst, l.cost) for l in topology.up_links()]
+
+
+def labeled_edges(topology: Topology, label_of=None) -> list[tuple]:
+    """Edges annotated with algebra labels (default: the link cost)."""
+
+    label_of = label_of or (lambda link: link.cost)
+    return [(l.src, l.dst, label_of(l)) for l in topology.up_links()]

@@ -1,0 +1,98 @@
+"""Unit tests for the Stable Paths Problem gadgets and SPVP dynamics."""
+
+import pytest
+
+from repro.bgp.simulation import SPVPSimulator
+from repro.bgp.spp import (
+    EPSILON,
+    SPPInstance,
+    bad_gadget,
+    disagree,
+    good_gadget,
+    shortest_path_instance,
+)
+
+
+class TestSPPInstances:
+    def test_permitted_paths_validated(self):
+        with pytest.raises(ValueError):
+            SPPInstance(origin=0, permitted={1: ((2, 0),)})
+
+    def test_rank_and_preference(self):
+        inst = disagree()
+        assert inst.rank(1, (1, 2, 0)) == 0
+        assert inst.rank(1, (1, 0)) == 1
+        assert inst.rank(1, EPSILON) == 2
+        assert inst.prefers(1, (1, 2, 0), (1, 0))
+
+    def test_disagree_has_two_stable_solutions(self):
+        solutions = disagree().stable_solutions()
+        assert len(solutions) == 2
+        assignments = {tuple(sorted(s.items())) for s in solutions}
+        assert (((1, (1, 2, 0)), (2, (2, 0)))) in assignments
+        assert (((1, (1, 0)), (2, (2, 1, 0)))) in assignments
+
+    def test_good_gadget_unique_solution(self):
+        inst = good_gadget()
+        assert inst.has_unique_solution()
+        (solution,) = inst.stable_solutions()
+        assert solution[1] == (1, 0)
+
+    def test_bad_gadget_has_no_solution(self):
+        assert bad_gadget().stable_solutions() == []
+        assert not bad_gadget().is_solvable
+
+    def test_best_consistent_path_depends_on_neighbours(self):
+        inst = disagree()
+        assert inst.best_consistent_path(1, {2: (2, 0)}) == (1, 2, 0)
+        assert inst.best_consistent_path(1, {2: EPSILON}) == (1, 0)
+
+    def test_shortest_path_instance_is_safe(self):
+        inst = shortest_path_instance([(0, 1), (1, 2), (0, 2)], origin=0)
+        assert inst.is_solvable
+        solution = inst.stable_solutions()[0]
+        assert solution[1] == (1, 0)
+        assert solution[2] == (2, 0)
+
+    def test_edges_extracted_from_permitted_paths(self):
+        assert (1, 2) in disagree().edges()
+
+
+class TestSPVP:
+    def test_good_gadget_converges_under_all_schedules(self):
+        for schedule in ("random", "round_robin", "simultaneous"):
+            result = SPVPSimulator(good_gadget(), seed=0).run(schedule=schedule)
+            assert result.converged, schedule
+            assert not result.oscillated
+
+    def test_disagree_converges_under_fair_random_schedules(self):
+        outcomes = set()
+        for seed in range(6):
+            result = SPVPSimulator(disagree(), seed=seed).run(schedule="random")
+            assert result.converged
+            outcomes.add(tuple(sorted(result.final_assignment.items())))
+        assert len(outcomes) >= 1  # lands in one of the two stable solutions
+
+    def test_disagree_oscillates_under_simultaneous_activation(self):
+        result = SPVPSimulator(disagree(), seed=0).run(schedule="simultaneous", max_activations=500)
+        assert not result.converged
+        assert result.oscillated
+
+    def test_bad_gadget_never_converges(self):
+        for schedule in ("random", "simultaneous"):
+            result = SPVPSimulator(bad_gadget(), seed=1).run(
+                schedule=schedule, max_activations=600
+            )
+            assert not result.converged
+
+    def test_final_assignment_of_converged_run_is_stable(self):
+        result = SPVPSimulator(disagree(), seed=3).run(schedule="random")
+        assert disagree().is_stable(result.final_assignment)
+
+    def test_convergence_profile_statistics(self):
+        profile = SPVPSimulator(disagree()).convergence_profile(runs=10, schedule="random")
+        assert profile["convergence_rate"] == 1.0
+        assert profile["mean_activations"] >= 1
+        assert 1 <= profile["distinct_stable_outcomes"] <= 2
+        bad_profile = SPVPSimulator(bad_gadget()).convergence_profile(runs=5, max_activations=400)
+        assert bad_profile["convergence_rate"] == 0.0

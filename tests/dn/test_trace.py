@@ -1,0 +1,62 @@
+"""Unit tests for execution traces and node statistics."""
+
+from repro.dn.node import Node
+from repro.dn.trace import Trace
+from repro.ndlog.parser import parse_program
+
+
+class TestTrace:
+    def _trace(self) -> Trace:
+        trace = Trace()
+        trace.record_change(0.1, "a", "path", ("a", "b"), "insert")
+        trace.record_change(0.5, "b", "bestPath", ("b", "a"), "insert")
+        trace.record_change(2.5, "a", "bestPath", ("a", "b"), "replace")
+        trace.record_message(0.2, "a", "b", "path", ("a", "b"))
+        trace.record_message(1.2, "b", "a", "path", ("b", "a"), delivered=False)
+        trace.finished_at = 3.0
+        trace.quiescent = True
+        return trace
+
+    def test_counts(self):
+        trace = self._trace()
+        assert trace.state_change_count == 3
+        assert trace.message_count == 2
+        assert trace.delivered_message_count == 1
+
+    def test_convergence_time(self):
+        trace = self._trace()
+        assert trace.last_change_time() == 2.5
+        assert trace.last_change_time("path") == 0.1
+        assert trace.convergence_time(since=1.0) == 1.5
+        assert trace.convergence_time("path", since=1.0) == 0.0
+
+    def test_filters(self):
+        trace = self._trace()
+        assert len(trace.changes_for("bestPath")) == 2
+        assert len(trace.changes_at("a")) == 2
+        assert trace.messages_between(0.0, 1.0) == 1
+
+    def test_histogram_and_summary(self):
+        trace = self._trace()
+        assert trace.message_histogram(1.0) == {0: 1, 1: 1}
+        assert "quiescent" in trace.summary()
+
+
+class TestNode:
+    def test_insert_and_replace_statistics(self):
+        program = parse_program("materialize(route, infinity, infinity, keys(1,2)).\np(@X,Y) :- route(@X,Y,C).")
+        node = Node("a", program)
+        assert node.insert("route", ("a", "b", 5), now=0.0)
+        assert node.insert("route", ("a", "b", 3), now=0.1)  # keyed replace
+        assert not node.insert("route", ("a", "b", 3), now=0.2)
+        assert node.stats.tuples_inserted == 1
+        assert node.stats.tuples_replaced == 1
+        assert node.rows("route") == [("a", "b", 3)]
+
+    def test_delete_statistics(self):
+        program = parse_program("p(@X) :- q(@X).")
+        node = Node("a", program)
+        node.insert("q", ("a",), 0.0)
+        assert node.delete("q", ("a",))
+        assert node.stats.tuples_deleted == 1
+        assert node.snapshot()["q"] == set()

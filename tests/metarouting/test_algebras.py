@@ -1,0 +1,97 @@
+"""Unit tests for base algebras and the four metarouting axioms."""
+
+from fractions import Fraction
+
+from repro.metarouting import (
+    add_algebra,
+    all_base_algebras,
+    check_absorption,
+    check_all_axioms,
+    check_isotonicity,
+    check_maximality,
+    check_monotonicity,
+    hop_count_algebra,
+    is_well_behaved,
+    local_pref_algebra,
+    reliability_algebra,
+    usable_path_algebra,
+    widest_path_algebra,
+)
+from repro.metarouting.algebra import RoutingAlgebra, algebra_from_rank
+
+
+class TestAlgebraBasics:
+    def test_best_selects_most_preferred(self):
+        alg = add_algebra(max_cost=10)
+        assert alg.best([5, 2, 7]) == 2
+        assert alg.best([]) == alg.prohibited
+
+    def test_widest_prefers_larger(self):
+        alg = widest_path_algebra()
+        assert alg.best([1, 10, 5]) == 10
+        assert alg.apply(2, 10) == 2
+
+    def test_total_order_check(self):
+        alg = add_algebra(max_cost=5)
+        assert alg.check_total_order() is None
+
+    def test_partial_order_detected(self):
+        broken = algebra_from_rank(
+            "broken",
+            signatures=(1, 2),
+            labels=(1,),
+            apply_label=lambda l, s: s,
+            rank=lambda s: s,
+            prohibited=2,
+        )
+        # sabotage the preference into a non-total relation
+        broken.prefer = lambda a, b: False
+        assert broken.check_total_order() is not None
+
+
+class TestAxioms:
+    def test_additive_algebra_satisfies_all_axioms(self):
+        report = check_all_axioms(add_algebra(max_cost=10), sample=20)
+        assert report.all_hold
+        assert report.is_well_behaved
+        assert report.total_cases > 0
+
+    def test_all_well_behaved_base_algebras(self):
+        for algebra in (hop_count_algebra(), widest_path_algebra(), reliability_algebra(), usable_path_algebra()):
+            report = check_all_axioms(algebra, sample=16)
+            assert report.all_hold, f"{algebra.name}: {report.failed_axioms()}"
+
+    def test_local_pref_violates_monotonicity_only(self):
+        report = check_all_axioms(local_pref_algebra(), sample=16)
+        assert report.failed_axioms() == ["monotonicity"]
+        assert report.reports["monotonicity"].counterexample is not None
+        assert not report.is_well_behaved
+
+    def test_individual_axiom_checks(self):
+        alg = add_algebra(max_cost=8)
+        assert check_maximality(alg).holds
+        assert check_absorption(alg).holds
+        assert check_monotonicity(alg).holds
+        assert check_isotonicity(alg, sample=12).holds
+
+    def test_strict_monotonicity_distinguishes_hop_count(self):
+        strict = check_monotonicity(hop_count_algebra(max_hops=8), sample=8, strict=True)
+        # saturation at the bound means strictness fails only at the boundary;
+        # restricting to interior signatures it holds — here we just check the
+        # checker reports a counterexample at the boundary rather than crashing
+        assert strict.axiom == "strict_monotonicity"
+
+    def test_is_well_behaved_helper(self):
+        assert is_well_behaved(add_algebra(max_cost=6))
+        assert not is_well_behaved(local_pref_algebra())
+
+    def test_broken_absorption_detected(self):
+        broken = algebra_from_rank(
+            "brokenAbsorb",
+            signatures=(0, 1, 2, 99),
+            labels=(1,),
+            apply_label=lambda l, s: min(l + s, 99) if s != 99 else 1,  # violates absorption
+            rank=lambda s: s,
+            prohibited=99,
+        )
+        assert not check_absorption(broken).holds

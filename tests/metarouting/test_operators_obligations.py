@@ -1,0 +1,112 @@
+"""Unit tests for composition operators and obligation discharge."""
+
+import pytest
+
+from repro.metarouting import (
+    add_algebra,
+    all_base_algebras,
+    bgp_system,
+    check_all_axioms,
+    hop_count_algebra,
+    instantiate,
+    instantiate_all,
+    lex_product,
+    local_pref_algebra,
+    policy_shortest_path_system,
+    preservation_conditions,
+    restrict_labels,
+    restrict_signatures,
+    route_algebra_theory,
+    safe_bgp_system,
+    usable_path_algebra,
+)
+
+
+class TestLexProduct:
+    def test_signature_and_label_structure(self):
+        product = lex_product(hop_count_algebra(max_hops=4), add_algebra(max_cost=4))
+        assert all(isinstance(s, tuple) for s in product.signatures)
+        assert product.prohibited == (float("inf"), float("inf"))
+
+    def test_lexicographic_preference(self):
+        product = lex_product(hop_count_algebra(max_hops=8), add_algebra(max_cost=8))
+        assert product.strictly_preferred((1, 5), (2, 0))
+        assert product.strictly_preferred((2, 1), (2, 3))
+        assert not product.strictly_preferred((2, 3), (2, 1))
+
+    def test_prohibited_absorbs_componentwise(self):
+        product = lex_product(usable_path_algebra(), add_algebra(max_cost=4))
+        out = product.apply(("deny", 1), ("usable", 0))
+        assert out == product.prohibited
+
+    def test_safe_composition_satisfies_all_axioms(self):
+        report = check_all_axioms(safe_bgp_system(max_cost=6), sample=10)
+        assert report.all_hold, report.failed_axioms()
+
+    def test_policy_filter_composition_is_well_behaved(self):
+        report = check_all_axioms(policy_shortest_path_system(max_cost=6), sample=10)
+        assert report.is_well_behaved
+
+    def test_bgp_system_is_not_monotone(self):
+        # the paper's BGPSystem = lexProduct[LP, RC]; LP is not monotone, so
+        # neither is the product — the algebraic face of policy divergence
+        report = check_all_axioms(bgp_system(max_cost=6), sample=10)
+        assert "monotonicity" in report.failed_axioms()
+
+    def test_preservation_conditions(self):
+        report = preservation_conditions(hop_count_algebra(max_hops=6), add_algebra(max_cost=6), sample=10)
+        assert report.first_monotone and report.second_monotone
+        assert report.product_isotone_expected
+        bad = preservation_conditions(local_pref_algebra(), add_algebra(max_cost=6), sample=10)
+        assert not bad.product_monotone_expected
+
+
+class TestRestrictions:
+    def test_label_restriction_preserves_axioms(self):
+        alg = add_algebra(max_cost=8, labels=(1, 2, 3, 5))
+        restricted = restrict_labels(alg, [1, 2])
+        assert set(restricted.labels) == {1, 2}
+        assert check_all_axioms(restricted, sample=12).all_hold
+
+    def test_label_restriction_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            restrict_labels(add_algebra(), [99])
+
+    def test_signature_restriction_checks_closure(self):
+        alg = add_algebra(max_cost=8, labels=(1,))
+        closed = restrict_signatures(alg, range(0, 9))
+        assert check_all_axioms(closed, sample=12).all_hold
+        with pytest.raises(ValueError):
+            restrict_signatures(alg, [0, 1, 2])  # 2+1=3 escapes the subset
+
+
+class TestObligations:
+    def test_route_algebra_theory_has_five_axioms(self):
+        thy = route_algebra_theory()
+        assert set(thy.axioms) == {
+            "totality",
+            "maximality",
+            "absorption",
+            "monotonicity",
+            "isotonicity",
+        }
+
+    def test_instantiation_discharges_well_behaved_algebra(self):
+        result = instantiate(add_algebra(max_cost=8), sample=12)
+        assert result.all_discharged
+        assert result.total == 5
+        assert result.well_behaved
+        assert result.elapsed_seconds < 2.0
+
+    def test_instantiation_reports_failed_obligation(self):
+        result = instantiate(local_pref_algebra(), sample=12)
+        assert not result.all_discharged
+        open_obligations = [ob for ob in result.obligations if not ob.discharged]
+        assert [ob.source_axiom for ob in open_obligations] == ["monotonicity"]
+
+    def test_instantiate_all_base_algebras(self):
+        results = instantiate_all(all_base_algebras(), sample=10)
+        by_name = {r.algebra: r for r in results}
+        assert by_name["addA"].all_discharged
+        assert by_name["widestA"].all_discharged
+        assert not by_name["lpA"].all_discharged

@@ -1,0 +1,82 @@
+"""Unit tests for algebra-driven route computation and convergence analysis."""
+
+from repro.metarouting import (
+    LabeledGraph,
+    add_algebra,
+    analyze_convergence,
+    asynchronous_routes,
+    bgp_system,
+    compute_routes,
+    hop_count_algebra,
+    optimality_gap,
+    safe_bgp_system,
+    widest_path_algebra,
+)
+
+
+def triangle_graph(label=lambda cost: cost):
+    edges = [
+        ("a", "b", label(1)), ("b", "a", label(1)),
+        ("b", "c", label(2)), ("c", "b", label(2)),
+        ("a", "c", label(5)), ("c", "a", label(5)),
+    ]
+    return LabeledGraph(edges)
+
+
+class TestComputeRoutes:
+    def test_shortest_paths_on_additive_algebra(self):
+        outcome = compute_routes(add_algebra(max_cost=16), triangle_graph())
+        assert outcome.converged
+        assert outcome.signature("a", "c") == 3
+        assert outcome.route("a", "c").path == ("a", "b", "c")
+        assert outcome.signature("a", "b") == 1
+
+    def test_widest_paths(self):
+        graph = LabeledGraph([
+            ("a", "b", 10), ("b", "a", 10),
+            ("b", "c", 10), ("c", "b", 10),
+            ("a", "c", 2), ("c", "a", 2),
+        ])
+        outcome = compute_routes(widest_path_algebra(bandwidths=(0, 2, 10, 100)), graph)
+        assert outcome.converged
+        # the two-hop path has bottleneck 10, better than the direct 2
+        assert outcome.signature("a", "c") == 10
+
+    def test_optimality_for_well_behaved_algebra(self):
+        algebra = add_algebra(max_cost=16)
+        graph = triangle_graph()
+        outcome = compute_routes(algebra, graph)
+        assert optimality_gap(algebra, graph, outcome) == {}
+
+    def test_unreachable_destination_is_prohibited(self):
+        algebra = add_algebra(max_cost=16)
+        graph = LabeledGraph([("a", "b", 1)])
+        graph.add_node("z")
+        outcome = compute_routes(algebra, graph)
+        assert outcome.signature("a", "z") == algebra.prohibited
+
+
+class TestConvergenceAnalysis:
+    def test_well_behaved_algebra_converges_everywhere(self):
+        report = analyze_convergence(add_algebra(max_cost=16), triangle_graph(), runs=2, sample=12)
+        assert report.predicted_convergent
+        assert report.observed_convergent
+        assert report.consistent
+
+    def test_safe_bgp_composition_converges(self):
+        graph = triangle_graph(label=lambda cost: (1, cost))
+        report = analyze_convergence(safe_bgp_system(max_cost=16), graph, runs=2, sample=8)
+        assert report.predicted_convergent
+        assert report.observed_convergent
+
+    def test_asynchronous_runs_reach_stability(self):
+        converged, used = asynchronous_routes(add_algebra(max_cost=16), triangle_graph(), seed=3)
+        assert converged
+        assert used > 0
+
+    def test_bgp_system_has_no_guarantee(self):
+        graph = triangle_graph(label=lambda cost: (1, cost))
+        report = analyze_convergence(bgp_system(max_cost=16), graph, runs=1, sample=12)
+        assert not report.predicted_convergent
+        # whatever is observed, the report must not be inconsistent
+        assert report.consistent

@@ -1,0 +1,83 @@
+"""Unit tests for stratification and the localization rewrite."""
+
+import pytest
+
+from repro.ndlog.ast import NDlogError
+from repro.ndlog.localization import is_localized, localize_program, localize_rule
+from repro.ndlog.parser import parse_program, parse_rule
+from repro.ndlog.stratification import DependencyGraph, stratify
+from repro.protocols.pathvector import PATH_VECTOR_SOURCE
+
+
+class TestStratification:
+    def test_path_vector_strata(self):
+        program = parse_program(PATH_VECTOR_SOURCE, "pv")
+        strat = stratify(program)
+        assert strat.strata["path"] < strat.strata["bestPathCost"]
+        assert strat.strata["bestPathCost"] <= strat.strata["bestPath"]
+        assert strat.stratum_count >= 2
+
+    def test_negation_forces_higher_stratum(self):
+        program = parse_program("p(@X) :- e(@X).\nq(@X) :- e(@X), !p(@X).")
+        strat = stratify(program)
+        assert strat.strata["q"] > strat.strata["p"]
+
+    def test_unstratifiable_detected(self):
+        program = parse_program("p(@X) :- e(@X), !q(@X).\nq(@X) :- e(@X), !p(@X).")
+        with pytest.raises(NDlogError):
+            stratify(program)
+
+    def test_recursive_predicates(self):
+        program = parse_program(PATH_VECTOR_SOURCE, "pv")
+        graph = DependencyGraph(program)
+        assert "path" in graph.recursive_predicates()
+        assert "bestPath" not in graph.recursive_predicates()
+
+    def test_dependency_edges_annotated(self):
+        program = parse_program(PATH_VECTOR_SOURCE, "pv")
+        graph = DependencyGraph(program)
+        agg_edges = [d for d in graph.edges_into("bestPathCost")]
+        assert agg_edges and all(d.aggregated for d in agg_edges)
+
+
+class TestLocalization:
+    def test_r2_is_not_local(self):
+        rule = parse_rule(
+            "r2 path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2), C=C1+C2, P=f_concatPath(S,P2)."
+        )
+        assert not is_localized(rule)
+
+    def test_localize_produces_link_destination_rule(self):
+        program = parse_program(PATH_VECTOR_SOURCE, "pv")
+        result = localize_program(program)
+        assert result.changed
+        assert result.auxiliary_predicates == ["link_d"]
+        assert "r2" in result.rewritten_rules
+        # every rewritten rule is now single-location
+        for rule in result.program.rules:
+            assert is_localized(rule), str(rule)
+
+    def test_localized_program_preserves_materialization(self):
+        program = parse_program(PATH_VECTOR_SOURCE, "pv")
+        result = localize_program(program)
+        assert set(result.program.materialized) == set(program.materialized)
+
+    def test_local_rules_pass_through(self):
+        program = parse_program("p(@X,Y) :- e(@X,Y), f(@X).")
+        result = localize_program(program)
+        assert not result.changed
+        assert len(result.program.rules) == 1
+
+    def test_non_link_restricted_rule_rejected(self):
+        rule = parse_rule("r p(@X,W) :- a(@X,Y), b(@Y,Z), c(@Z,W).")
+        with pytest.raises(NDlogError):
+            localize_rule(rule, {})
+
+    def test_ship_rule_reuses_auxiliary_predicate(self):
+        program = parse_program(
+            "p(@Z,S) :- link(@S,Z,C), other(@Z,S).\nq(@Z,S) :- link(@S,Z,C), other2(@Z,S)."
+        )
+        result = localize_program(program)
+        assert result.auxiliary_predicates == ["link_d"]
+        ship_rules = [r for r in result.program.rules if r.head.predicate == "link_d"]
+        assert len(ship_rules) == 1

@@ -1,0 +1,100 @@
+"""Unit tests for the protocol library front ends."""
+
+import pytest
+
+from repro.protocols import (
+    DistanceVectorSimulator,
+    LinkStateProtocol,
+    PathVectorProtocol,
+    distance_vector_program,
+    heartbeat_facts,
+    heartbeat_program,
+    link_state_program,
+    path_vector_program,
+)
+from repro.ndlog.seminaive import evaluate
+from repro.workloads.topologies import line_topology, ring_topology
+
+
+class TestPathVectorFrontEnd:
+    def test_centralized_and_distributed_agree(self):
+        topo = ring_topology(4)
+        central = PathVectorProtocol(topo)
+        central.run_centralized()
+        distributed = PathVectorProtocol(topo)
+        distributed.run_distributed()
+        as_set = lambda entries: {(e.source, e.destination, e.path, e.cost) for e in entries}
+        assert as_set(central.best_paths()) == as_set(distributed.best_paths())
+
+    def test_best_path_lookup(self):
+        protocol = PathVectorProtocol(line_topology(3))
+        protocol.run_centralized()
+        best = protocol.best_path(0, 2)
+        assert best is not None and best.cost == 2 and best.path == (0, 1, 2)
+        assert protocol.best_path(0, 99) is None
+
+    def test_results_require_execution(self):
+        protocol = PathVectorProtocol(line_topology(2))
+        with pytest.raises(RuntimeError):
+            protocol.best_paths()
+
+
+class TestDistanceVector:
+    def test_static_fixpoint_matches_path_vector_costs(self):
+        topo = ring_topology(4)
+        facts = [("link", f) for f in topo.link_facts()]
+        dv = evaluate(distance_vector_program(), facts)
+        pv = evaluate(path_vector_program(), facts)
+        dv_costs = {(s, d): c for s, d, c in dv.rows("bestCost")}
+        pv_costs = {(s, d): c for s, d, c in pv.rows("bestPathCost")}
+        assert dv_costs == pv_costs
+
+    def test_simulator_converges_on_static_topology(self):
+        sim = DistanceVectorSimulator(ring_topology(5))
+        rounds, converged = sim.run_to_convergence()
+        assert converged
+        assert sim.metric(0, 2) == 2
+
+    def test_count_to_infinity_after_partition(self):
+        report = DistanceVectorSimulator(line_topology(3)).failure_experiment(1, 2, observe=(0, 2))
+        assert report.converged_before_failure
+        assert report.count_to_infinity
+        assert report.max_metric_seen >= report.infinity
+        # the metric climbs through intermediate values (the signature behaviour)
+        intermediates = [m for m in report.metric_trajectory if 2 < m < report.infinity]
+        assert len(set(intermediates)) >= 2
+
+    def test_split_horizon_mitigates_two_node_loop(self):
+        report = DistanceVectorSimulator(line_topology(3), split_horizon=True).failure_experiment(
+            1, 2, observe=(0, 2)
+        )
+        assert not report.count_to_infinity
+
+    def test_path_vector_does_not_count_to_infinity(self):
+        # the path-vector simulator (loop-suppressing) reference: after the
+        # same failure the NDlog path-vector fixpoint on the surviving
+        # topology has no route at all rather than a climbing metric
+        topo = line_topology(3)
+        topo.fail_link(1, 2)
+        pv = evaluate(path_vector_program(), [("link", f) for f in topo.link_facts()])
+        assert all(d != 2 for _, d, _, _ in pv.rows("bestPath"))
+
+
+class TestLinkStateAndHeartbeat:
+    def test_link_state_floods_full_topology(self):
+        protocol = LinkStateProtocol(line_topology(3))
+        protocol.run_distributed()
+        # every node ends up with every directed link in its LSA database
+        for node in (0, 1, 2):
+            assert protocol.lsa_database_size(node) == 4
+        assert protocol.best_cost(0, 0, 2) == 2
+        assert protocol.best_cost(2, 0, 2) == 2  # same answer everywhere
+
+    def test_heartbeat_program_is_soft_state(self):
+        program = heartbeat_program()
+        assert program.materialized["heartbeat"].is_soft_state
+        assert program.lifetime_of("alive") == 3
+        facts = heartbeat_facts([("a", "b"), ("b", "c")])
+        db = evaluate(program, facts)
+        assert ("a", "b") in db.table("alive")
+        assert ("a", "c") in db.table("reachableAlive")

@@ -1,0 +1,134 @@
+"""Cross-layer property-based tests: metarouting, SPP, and protocol agreement.
+
+These tests check invariants that tie the layers together on randomly
+generated inputs: composition operators preserve the algebra-consistency
+axioms, SPP instances derived from plain graphs are always solvable, and the
+distance-vector and path-vector substrates agree with the algebraic route
+computation on unit-cost topologies.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.simulation import SPVPSimulator
+from repro.bgp.spp import shortest_path_instance
+from repro.metarouting import (
+    LabeledGraph,
+    add_algebra,
+    check_absorption,
+    check_all_axioms,
+    check_maximality,
+    compute_routes,
+    hop_count_algebra,
+    lex_product,
+    usable_path_algebra,
+    widest_path_algebra,
+)
+from repro.protocols.distancevector import DistanceVectorSimulator
+from repro.workloads.topologies import labeled_edges, random_topology
+
+
+# ---------------------------------------------------------------------------
+# Random graphs
+# ---------------------------------------------------------------------------
+
+@st.composite
+def connected_edge_lists(draw):
+    """Edges of a small connected undirected graph over nodes 0..n-1."""
+
+    n = draw(st.integers(min_value=2, max_value=6))
+    edges = [(i, draw(st.integers(min_value=0, max_value=i - 1))) for i in range(1, n)]
+    extra = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(extra):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a != b and (a, b) not in edges and (b, a) not in edges:
+            edges.append((a, b))
+    return edges
+
+
+base_algebras = st.sampled_from(
+    [add_algebra(max_cost=8), hop_count_algebra(max_hops=8), widest_path_algebra(), usable_path_algebra()]
+)
+
+
+# ---------------------------------------------------------------------------
+# Metarouting invariants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(base_algebras, base_algebras)
+def test_lex_product_preserves_consistency_axioms(first, second):
+    """Maximality, absorption, and totality always survive the lexical
+    product of algebras that satisfy them (monotonicity need not)."""
+
+    product = lex_product(first, second)
+    assert check_maximality(product, sample=20).holds
+    assert check_absorption(product, sample=20).holds
+    assert product.check_total_order() is None
+
+
+@settings(max_examples=15, deadline=None)
+@given(connected_edge_lists())
+def test_hop_count_routes_match_graph_distance(edges):
+    """The generic vectoring protocol over the hop-count algebra computes
+    exactly the undirected hop distance."""
+
+    import networkx as nx
+
+    algebra = hop_count_algebra(max_hops=16)
+    directed = [(a, b, 1) for a, b in edges] + [(b, a, 1) for a, b in edges]
+    outcome = compute_routes(algebra, LabeledGraph(directed))
+    assert outcome.converged
+    graph = nx.Graph(edges)
+    for src in graph.nodes:
+        lengths = nx.single_source_shortest_path_length(graph, src)
+        for dst, hops in lengths.items():
+            if src == dst:
+                continue
+            assert outcome.signature(src, dst) == hops
+
+
+@settings(max_examples=15, deadline=None)
+@given(connected_edge_lists())
+def test_distance_vector_simulator_matches_graph_distance(edges):
+    import networkx as nx
+
+    from repro.dn.network import Topology
+
+    topology = Topology.from_edges([(a, b, 1) for a, b in edges])
+    simulator = DistanceVectorSimulator(topology)
+    _, converged = simulator.run_to_convergence()
+    assert converged
+    graph = nx.Graph(edges)
+    for src in graph.nodes:
+        lengths = nx.single_source_shortest_path_length(graph, src)
+        for dst, hops in lengths.items():
+            assert simulator.metric(src, dst) == hops
+
+
+# ---------------------------------------------------------------------------
+# SPP / SPVP invariants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(connected_edge_lists())
+def test_shortest_path_spp_instances_are_safe(edges):
+    """Shortest-path preferences are conflict-free: a stable solution exists
+    and fair SPVP runs converge to a stable assignment."""
+
+    instance = shortest_path_instance(edges, origin=0)
+    solutions = instance.stable_solutions()
+    assert solutions, "shortest-path SPP instance must be solvable"
+    result = SPVPSimulator(instance, seed=0).run(schedule="random", max_activations=4_000)
+    assert result.converged
+    assert instance.is_stable(result.final_assignment)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_spvp_converged_assignments_are_always_stable(seed):
+    from repro.bgp.spp import disagree
+
+    result = SPVPSimulator(disagree(), seed=seed).run(schedule="random", max_activations=2_000)
+    if result.converged:
+        assert disagree().is_stable(result.final_assignment)

@@ -1,0 +1,104 @@
+"""End-to-end integration tests spanning the whole FVN pipeline."""
+
+import pytest
+
+from repro.bgp import (
+    ComponentBGPSimulator,
+    SPVPSimulator,
+    disagree,
+    disagree_policies,
+    policy_facts,
+    policy_path_vector_program,
+    shortest_path_policies,
+)
+from repro.dn.engine import DistributedEngine
+from repro.fvn import FVN, check_translation_equivalence, standard_property_suite
+from repro.bgp.model import bgp_model, policy_registry
+from repro.metarouting import (
+    LabeledGraph,
+    add_algebra,
+    bgp_system,
+    compute_routes,
+    instantiate,
+    safe_bgp_system,
+)
+from repro.ndlog.seminaive import evaluate
+from repro.protocols import PathVectorProtocol, path_vector_program
+from repro.workloads import labeled_edges, random_topology, ring_topology, to_edge_list
+
+
+class TestFullPipeline:
+    def test_verify_then_execute_path_vector(self):
+        """Figure 1 end to end: properties, arc 4, arc 5, arc 7 on one protocol."""
+
+        fvn = FVN("pathvector-e2e")
+        fvn.use_ndlog(path_vector_program())
+        for spec in standard_property_suite():
+            fvn.add_property(spec)
+        topology = random_topology(6, seed=3)
+        instance = [("link", fact) for fact in topology.link_facts()]
+        report = fvn.verify(instances=[instance])
+        assert report.proved_count == 4
+        trace = fvn.execute(topology)
+        assert trace.quiescent
+        # the verified optimality property holds on the execution output
+        best = {(r[0], r[1]): r[3] for r in fvn.execution.rows("bestPath")}
+        for (s, d, p, c) in fvn.execution.rows("path"):
+            assert best[(s, d)] <= c
+
+    def test_algebra_design_matches_execution(self):
+        """The metarouting design phase and the NDlog execution agree on routes."""
+
+        topology = random_topology(6, seed=11, max_cost=4)
+        algebra = add_algebra(max_cost=64, labels=(1, 2, 3, 4))
+        assert instantiate(algebra, sample=16).all_discharged
+        graph = LabeledGraph(labeled_edges(topology))
+        algebra_routes = compute_routes(algebra, graph)
+        protocol = PathVectorProtocol(topology)
+        protocol.run_centralized()
+        for entry in protocol.best_paths():
+            assert algebra_routes.signature(entry.source, entry.destination) == entry.cost
+
+    def test_component_model_to_ndlog_to_execution(self):
+        """Arc 2 → arc 3 → arc 7 for the BGP component model."""
+
+        policies = shortest_path_policies()
+        model = bgp_model(policies)
+        equivalence = check_translation_equivalence(
+            model,
+            {"r0": (1, 0, 0, (0,), 100, 0.0, 0)},
+            functions=policy_registry(policies),
+        )
+        assert equivalence.matches
+        program = policy_path_vector_program()
+        topology = ring_topology(4)
+        engine = DistributedEngine(program, topology)
+        trace = engine.run(extra_facts=policy_facts(policies, topology.nodes))
+        assert trace.quiescent
+        assert len(engine.rows("bestRoute")) >= topology.node_count * (topology.node_count - 1)
+
+    def test_policy_conflict_story_is_consistent_across_layers(self):
+        """Disagree seen from three angles: the SPP gadget (two solutions),
+        SPVP (oscillation under simultaneous activation), and the algebra
+        (BGPSystem fails monotonicity) — the paper's §3.2/§3.3 narrative."""
+
+        gadget = disagree()
+        assert len(gadget.stable_solutions()) == 2
+        spvp = SPVPSimulator(gadget, seed=0).run(schedule="simultaneous", max_activations=300)
+        assert spvp.oscillated and not spvp.converged
+        from repro.metarouting import check_all_axioms
+
+        assert "monotonicity" in check_all_axioms(bgp_system(max_cost=6), sample=12).failed_axioms()
+        assert check_all_axioms(safe_bgp_system(max_cost=6), sample=10).all_hold
+        component_sim = ComponentBGPSimulator(disagree_policies(), [(0, 1), (0, 2), (1, 2)], origin=0)
+        _, converged = component_sim.run_to_fixpoint(max_rounds=20)
+        assert not converged
+
+    def test_distributed_matches_centralized_on_random_topologies(self):
+        for seed in (1, 2):
+            topology = random_topology(5, seed=seed)
+            program = path_vector_program()
+            engine = DistributedEngine(program, topology)
+            engine.run()
+            central = evaluate(program, [("link", f) for f in topology.link_facts()])
+            assert set(engine.rows("bestPath")) == set(central.rows("bestPath"))
