@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Benchmark regression gate for CI.
+
+Compares a ``--benchmark-ci`` timing file against the committed baseline and
+exits non-zero when any benchmark regressed by more than ``--max-ratio``
+(default 2x).
+
+Raw wall-clock comparisons across different machines are meaningless, so
+ratios are normalized by the *median* ratio across all shared benchmarks: a
+uniformly slower CI runner shifts every ratio equally and cancels out, while
+a genuine regression in one benchmark stands out against the rest.  Because
+the normalization would also absorb a change that slows *everything* down,
+``--max-raw-ratio`` (default 8x) bounds the un-normalized ratio as a
+backstop.  Very fast benchmarks (below ``--min-seconds``) are skipped as
+pure noise.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_ci.json benchmarks/BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_timings(path: str) -> dict[str, float]:
+    with open(path) as handle:
+        data = json.load(handle)
+    return {name: entry["min"] for name, entry in data.items()}
+
+
+def compare(
+    current: dict[str, float],
+    baseline: dict[str, float],
+    *,
+    max_ratio: float,
+    min_seconds: float,
+    max_raw_ratio: float,
+) -> list[str]:
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        return ["no benchmarks in common between current run and baseline"]
+    ratios = {
+        name: current[name] / baseline[name] for name in shared if baseline[name] > 0
+    }
+    # normalize out machine-speed differences between baseline host and CI.
+    # The scale comes only from benchmarks above the noise floor (the ones
+    # actually gated — sub-floor timings are timer-resolution noise), and is
+    # clamped at 1.0 so a broadly *improved* suite (median ratio < 1) does
+    # not inflate untouched benchmarks into false regressions
+    gated = [r for name, r in ratios.items() if current[name] >= min_seconds]
+    scale = statistics.median(gated) if len(gated) >= 3 else 1.0
+    scale = max(scale, 1.0)
+    failures = []
+    for name, ratio in sorted(ratios.items()):
+        normalized = ratio / scale
+        considered = current[name] >= min_seconds
+        # the raw-ratio backstop catches uniform slowdowns that the median
+        # normalization would otherwise absorb
+        failed = considered and (normalized > max_ratio or ratio > max_raw_ratio)
+        status = "FAIL" if failed else "ok"
+        print(
+            f"{status:4} {name}: {baseline[name]:.4f}s -> {current[name]:.4f}s "
+            f"(x{ratio:.2f} raw, x{normalized:.2f} normalized)"
+        )
+        if failed:
+            failures.append(
+                f"{name} regressed x{normalized:.2f} normalized / x{ratio:.2f} raw "
+                f"(limits x{max_ratio:.1f} / x{max_raw_ratio:.1f})"
+            )
+    for name in sorted(set(baseline) - set(current)):
+        print(f"warn {name}: in baseline but not in current run")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"warn {name}: not in baseline — ungated until the baseline is regenerated")
+    print(f"median machine-speed scale: x{scale:.2f}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="BENCH_ci.json from --benchmark-ci")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--max-ratio", type=float, default=2.0)
+    parser.add_argument(
+        "--max-raw-ratio",
+        type=float,
+        default=8.0,
+        help="un-normalized ratio backstop (catches uniform slowdowns)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.001,
+        help="ignore benchmarks faster than this (noise floor)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        current = load_timings(args.current)
+        baseline = load_timings(args.baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    failures = compare(
+        current,
+        baseline,
+        max_ratio=args.max_ratio,
+        min_seconds=args.min_seconds,
+        max_raw_ratio=args.max_raw_ratio,
+    )
+    if failures:
+        print("\nbenchmark regressions detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

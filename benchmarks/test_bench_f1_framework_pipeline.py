@@ -8,7 +8,6 @@ counterexample feedback (8).  The bench runs the complete workflow for the
 path-vector protocol and reports which arcs were exercised and at what cost.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.fvn.framework import FVN

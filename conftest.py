@@ -1,0 +1,50 @@
+"""Repository-level pytest configuration.
+
+Adds the ``--benchmark-ci`` flag used by the CI benchmark job: after a
+benchmark session it writes per-test timings to a JSON file (default
+``BENCH_ci.json``) that ``benchmarks/check_regression.py`` compares against
+the committed baseline ``benchmarks/BENCH_baseline.json``.
+"""
+
+import json
+import pathlib
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("benchmark-ci")
+    group.addoption(
+        "--benchmark-ci",
+        action="store_true",
+        default=False,
+        help="write per-benchmark timings to a JSON file for the CI regression gate",
+    )
+    group.addoption(
+        "--benchmark-ci-output",
+        default="BENCH_ci.json",
+        help="where --benchmark-ci writes its timings (default: BENCH_ci.json)",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    config = session.config
+    if not config.getoption("--benchmark-ci"):
+        return
+    benchmark_session = getattr(config, "_benchmarksession", None)
+    if benchmark_session is None:
+        return
+    results = {}
+    for bench in benchmark_session.benchmarks:
+        if bench.stats is None or not bench.stats.rounds:
+            continue
+        results[bench.fullname] = {
+            "min": bench.stats.min,
+            "mean": bench.stats.mean,
+            "rounds": bench.stats.rounds,
+        }
+    output = pathlib.Path(config.getoption("--benchmark-ci-output"))
+    output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    terminal = config.pluginmanager.get_plugin("terminalreporter")
+    if terminal is not None:
+        terminal.write_line(
+            f"benchmark-ci: wrote {len(results)} benchmark timings to {output}"
+        )

@@ -9,7 +9,7 @@ paper would print.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from ..dn.trace import Trace
 from ..logic.prover import ProofResult

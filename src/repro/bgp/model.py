@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from ..fvn.components import Component, ComponentConstraint, CompositeComponent, Port
-from ..logic.formulas import atom, conj, eq
+from ..logic.formulas import conj, eq
 from ..logic.terms import Var, func
 from .policy import NodeId, PolicyTable, Route, best_route
 

@@ -12,7 +12,7 @@ paper's Figure 2 decomposition.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Hashable, Iterable, Mapping, Optional, Sequence
+from typing import Hashable, Iterable, Optional, Sequence
 
 
 NodeId = Hashable

@@ -19,8 +19,8 @@ message counts for the benchmark harness.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Iterable, Literal, Optional, Sequence
+from dataclasses import dataclass
+from typing import Literal, Optional
 
 from .spp import EPSILON, NodeId, Path, SPPInstance
 

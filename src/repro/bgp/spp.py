@@ -15,9 +15,9 @@ plus a customer–provider hierarchy generator for larger experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import product
-from typing import Hashable, Iterable, Mapping, Optional, Sequence
+from typing import Hashable, Iterable, Mapping
 
 
 NodeId = Hashable

@@ -8,14 +8,20 @@ P2 / declarative-networking execution model:
    rule body reads tuples at a single node;
 2. base tuples are distributed to the node named by their location
    specifier;
-3. execution is **pipelined semi-naive**: whenever a tuple is inserted (or
-   replaced under its primary key) at a node, the rules reading that
-   predicate re-fire with the new tuple as the delta; derived tuples whose
-   head location names another node are shipped as messages with the link's
-   propagation delay;
+3. execution is **batched semi-naive**: tuples arriving at a node at the
+   same simulation timestamp are drained into one delta batch, and each
+   triggered rule fires once with the whole batch as the delta (instead of
+   once per tuple); derived tuples whose head location names another node
+   are shipped as messages with the link's propagation delay, while local
+   derivations are appended to the batch queue and processed in the same
+   drain loop;
 4. aggregate rules (``min<C>`` …) are recomputed over the node's local
-   tables whenever one of their body relations changes, so route recomputation
-   (``bestRoute``) happens exactly as in the paper's BGP decomposition.
+   tables once per batch round (deferred to batch end rather than per
+   tuple), so route recomputation (``bestRoute``) happens exactly as in the
+   paper's BGP decomposition but without per-tuple recomputation overhead.
+
+``EngineConfig(batch_deltas=False)`` restores the original per-tuple
+pipelined firing for comparison experiments.
 
 The engine records a :class:`~repro.dn.trace.Trace` for convergence and
 message accounting, and supports runtime topology dynamics (link failure,
@@ -25,14 +31,14 @@ recovery, cost changes) plus soft-state expiry and periodic refresh.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
 
 from ..logic.bmc import FunctionRegistry
 from ..ndlog.ast import Fact, NDlogError, Program, Rule
 from ..ndlog.functions import builtin_registry
 from ..ndlog.localization import localize_program
-from ..ndlog.seminaive import RuleEngine
+from ..ndlog.seminaive import DeltaIndex, RuleEngine
 from .events import Event, EventScheduler
 from .network import Channel, NodeId, Topology
 from .node import Node
@@ -54,6 +60,12 @@ class EngineConfig:
     expiry_scan_interval: float = 1.0
     #: Safety budget on processed events.
     max_events: int = 500_000
+    #: Drain same-timestamp deltas per node into one semi-naive round
+    #: (False restores the original per-tuple pipelined firing).
+    batch_deltas: bool = True
+    #: Probe per-predicate hash indexes during rule joins (False restores
+    #: the original scan-join behaviour).
+    use_indexes: bool = True
 
 
 class DistributedEngine:
@@ -75,7 +87,7 @@ class DistributedEngine:
         self.topology = topology
         self.config = config or EngineConfig()
         self.registry = registry or builtin_registry()
-        self.rule_engine = RuleEngine(self.registry)
+        self.rule_engine = RuleEngine(self.registry, use_indexes=self.config.use_indexes)
         self.scheduler = EventScheduler()
         self.channel = Channel(topology, seed=self.config.seed)
         self.trace = Trace()
@@ -84,11 +96,20 @@ class DistributedEngine:
         }
         # rules indexed by the body predicates that can trigger them
         self._triggers: dict[str, list[Rule]] = {}
+        self._rule_order: dict[int, int] = {
+            id(rule): index for index, rule in enumerate(self.program.rules)
+        }
         for rule in self.program.rules:
             for predicate in set(rule.body_predicates()):
                 self._triggers.setdefault(predicate, []).append(rule)
         self._base_facts: list[tuple[NodeId, str, tuple]] = []
         self._seeded = False
+        # per-node queues of tuples awaiting batched delta processing
+        self._pending: dict[NodeId, deque[tuple[str, tuple]]] = {
+            node_id: deque() for node_id in topology.nodes
+        }
+        self._draining: set[NodeId] = set()
+        self._flush_marks: dict[NodeId, float] = {}
 
     # ------------------------------------------------------------------
     # Seeding
@@ -168,35 +189,126 @@ class DistributedEngine:
         self.scheduler.schedule(delay, Event("message", deliver, f"{src}->{dst} {predicate}"))
 
     # ------------------------------------------------------------------
-    # Pipelined semi-naive execution
+    # Batched semi-naive execution
     # ------------------------------------------------------------------
     def _handle_insert(self, node_id: NodeId, predicate: str, values: tuple) -> None:
         node = self.nodes[node_id]
+        if not self.config.batch_deltas:
+            self._apply_and_fire(node, predicate, values)
+            return
+        self._pending.setdefault(node_id, deque()).append((predicate, values))
+        if node_id in self._draining:
+            return  # an enclosing drain loop will pick the tuple up
+        now = self.scheduler.now
+        if self._flush_marks.get(node_id) == now:
+            return  # a flush for this node at this timestamp is already queued
+        self._flush_marks[node_id] = now
+        self.scheduler.schedule(
+            0.0, Event("flush", lambda: self._flush(node_id), f"batch flush@{node_id}")
+        )
+
+    def _flush(self, node_id: NodeId) -> None:
+        """Drain every tuple that accumulated for a node at this timestamp.
+
+        Scheduling the flush as a zero-delay event lets all same-timestamp
+        deliveries (the seeding burst, synchronized message waves) coalesce
+        into one batched semi-naive round instead of firing rules per tuple.
+        """
+
+        self._flush_marks.pop(node_id, None)
+        if node_id in self._draining:
+            return
+        self._draining.add(node_id)
+        try:
+            self._drain(self.nodes[node_id])
+        finally:
+            self._draining.discard(node_id)
+
+    def _apply_insert(self, node: Node, predicate: str, values: tuple) -> bool:
+        """Insert one tuple into a node's store, recording the change."""
+
         now = self.scheduler.now
         table = node.db.table(predicate)
         existed_same = values in table
         changed = node.insert(predicate, values, now)
         if not changed:
-            return
+            return False
         kind = "replace" if not existed_same and len(table) and table.keys else "insert"
-        self.trace.record_change(now, node_id, predicate, values, kind)
-        self._fire_triggers(node, predicate, values)
+        self.trace.record_change(now, node.id, predicate, values, kind)
+        return True
 
-    def _fire_triggers(self, node: Node, predicate: str, values: tuple) -> None:
-        rules = self._triggers.get(predicate, ())
+    def _dispatch(self, node: Node, firings) -> None:
+        """Route derived tuples: local heads re-enter the node's delta queue
+        (or recurse in per-tuple mode), remote heads become messages."""
+
+        for firing in firings:
+            destination = firing.location_value
+            if destination is None or destination == node.id:
+                if self.config.batch_deltas:
+                    self._pending[node.id].append((firing.predicate, firing.values))
+                else:
+                    self._handle_insert(node.id, firing.predicate, firing.values)
+            else:
+                self._send(node.id, destination, firing.predicate, firing.values)
+
+    def _drain(self, node: Node) -> None:
+        """Process a node's pending tuples in batched semi-naive rounds.
+
+        Each round drains every queued tuple into one delta (all tuples that
+        arrived at this timestamp, plus everything derived locally by the
+        previous round), fires each triggered non-aggregate rule once with
+        that batched delta, and recomputes triggered aggregate rules once at
+        the end of the round.
+        """
+
+        queue = self._pending[node.id]
+        while queue:
+            delta: dict[str, list[tuple]] = {}
+            while queue:
+                predicate, values = queue.popleft()
+                if self._apply_insert(node, predicate, values):
+                    delta.setdefault(predicate, []).append(values)
+            if not delta:
+                continue
+            plain, aggregate = self._triggered_rules(delta)
+            # one shared view so the delta is copied/grouped once per round,
+            # not once per triggered rule
+            view = DeltaIndex(delta)
+            for rule in plain:
+                node.stats.rule_firings += 1
+                self._dispatch(node, self.rule_engine.fire_rule(rule, node.db, delta=view))
+            # aggregate recomputation is deferred to the end of the batch so
+            # large deltas pay for one recomputation instead of one per tuple
+            for rule in aggregate:
+                node.stats.rule_firings += 1
+                self._dispatch(node, self.rule_engine.fire_rule(rule, node.db))
+
+    def _triggered_rules(self, delta: Mapping[str, list[tuple]]) -> tuple[list[Rule], list[Rule]]:
+        """Rules triggered by any delta predicate, deduplicated and split
+        into (non-aggregate, aggregate) in program order."""
+
+        seen: dict[int, Rule] = {}
+        for predicate in delta:
+            for rule in self._triggers.get(predicate, ()):
+                seen.setdefault(id(rule), rule)
+        ordered = sorted(seen.values(), key=lambda r: self._rule_order[id(r)])
+        plain = [r for r in ordered if not r.head.has_aggregate]
+        aggregate = [r for r in ordered if r.head.has_aggregate]
+        return plain, aggregate
+
+    def _apply_and_fire(self, node: Node, predicate: str, values: tuple) -> None:
+        """The original per-tuple pipelined firing (batch_deltas=False)."""
+
+        if not self._apply_insert(node, predicate, values):
+            return
         delta = {predicate: [values]}
-        for rule in rules:
+        for rule in self._triggers.get(predicate, ()):
             node.stats.rule_firings += 1
             if rule.head.has_aggregate:
                 firings = self.rule_engine.fire_rule(rule, node.db)
             else:
                 firings = self.rule_engine.fire_rule(rule, node.db, delta=delta)
-            for firing in firings:
-                destination = firing.location_value
-                if destination is None or destination == node.id:
-                    self._handle_insert(node.id, firing.predicate, firing.values)
-                else:
-                    self._send(node.id, destination, firing.predicate, firing.values)
+            self._dispatch(node, firings)
 
     # ------------------------------------------------------------------
     # Soft state
@@ -206,9 +318,14 @@ class DistributedEngine:
             decl = self.program.materialized.get(predicate)
             if decl is None or not decl.is_soft_state:
                 continue
-            # refresh extends lifetime; only re-fires rules if the tuple was gone
-            self._handle_insert(node_id, predicate, values)
-            self.nodes[node_id].db.table(predicate).insert(values, self.scheduler.now)
+            table = self.nodes[node_id].db.table(predicate)
+            if values in table:
+                # pure refresh: extend the lifetime without re-firing rules
+                table.insert(values, self.scheduler.now)
+            else:
+                # the tuple expired — reinsert through the engine so rules
+                # re-derive downstream state (queued in batched mode)
+                self._handle_insert(node_id, predicate, values)
         if self.config.refresh_interval:
             self.scheduler.schedule(
                 self.config.refresh_interval,
@@ -294,7 +411,7 @@ class DistributedEngine:
 
         if not self._seeded:
             self.seed_facts(extra_facts)
-        processed = self.scheduler.run(until=until, max_events=self.config.max_events)
+        self.scheduler.run(until=until, max_events=self.config.max_events)
         self.trace.events_processed = self.scheduler.processed
         self.trace.finished_at = self.scheduler.now
         self.trace.quiescent = self.scheduler.is_empty

@@ -12,8 +12,8 @@ count-to-infinity.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional
 
 import networkx as nx
 
@@ -133,18 +133,18 @@ class Topology:
         return list(self._links.values())
 
     def up_links(self) -> list[Link]:
-        return [l for l in self._links.values() if l.up]
+        return [link for link in self._links.values() if link.up]
 
     def link(self, src: NodeId, dst: NodeId) -> Optional[Link]:
         return self._links.get((src, dst))
 
     def neighbors(self, node: NodeId) -> list[NodeId]:
-        return [l.dst for l in self._links.values() if l.src == node and l.up]
+        return [link.dst for link in self._links.values() if link.src == node and link.up]
 
     def link_facts(self) -> list[tuple]:
         """``link(@src, dst, cost)`` facts for every up link."""
 
-        return [l.as_fact() for l in self.up_links()]
+        return [link.as_fact() for link in self.up_links()]
 
     def has_node(self, node: NodeId) -> bool:
         return node in self._nodes

@@ -10,8 +10,7 @@ evaluator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from ..ndlog.ast import Program
 from ..ndlog.store import Database

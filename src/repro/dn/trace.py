@@ -10,7 +10,7 @@ convergence, Section 3.2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Optional
 
 from .network import NodeId
 

@@ -24,11 +24,11 @@ consume respectively:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional
 
-from ..logic.formulas import Atom, Comparison, Formula, conj, exists, forall, iff
+from ..logic.formulas import Atom, Formula, conj
 from ..logic.inductive import Clause, InductiveDefinition
-from ..logic.terms import Term, Var
+from ..logic.terms import Var
 from ..logic.theory import Theory
 
 

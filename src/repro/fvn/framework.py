@@ -25,7 +25,7 @@ arc  meaning (and the method that realizes it here)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from ..dn.engine import DistributedEngine, EngineConfig
 from ..dn.network import Topology
@@ -37,7 +37,7 @@ from ..ndlog.ast import Program
 from .components import CompositeComponent
 from .linear import TransitionSystem
 from .logic_to_ndlog import SchemaAnnotation, composite_to_program
-from .modelcheck import ModelCheckResult, check_invariant, check_reachable
+from .modelcheck import ModelCheckResult, check_invariant
 from .ndlog_to_logic import program_to_theory
 from .properties import PropertySpec
 from .verification import VerificationManager, VerificationReport

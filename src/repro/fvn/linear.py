@@ -20,11 +20,11 @@ This module realizes that reading operationally:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
 
 from ..logic.bmc import FunctionRegistry
-from ..ndlog.ast import Fact, Program, Rule
+from ..ndlog.ast import Program
 from ..ndlog.functions import builtin_registry
 from ..ndlog.seminaive import RuleEngine
 from ..ndlog.store import Database

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from ..logic.formulas import And, Atom, Comparison, Exists, Formula, Not, Truth
-from ..logic.terms import Term, Var
+from ..logic.terms import Var
 from ..ndlog.ast import (
     Assignment,
     BodyItem,
@@ -38,7 +38,7 @@ from ..ndlog.ast import (
     Program,
     Rule,
 )
-from .components import Component, ComponentError, CompositeComponent, Port
+from .components import Component, ComponentError, CompositeComponent
 
 
 #: Suffixes used for the generated input/output relations.

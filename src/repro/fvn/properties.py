@@ -23,8 +23,8 @@ steps), and hints for the automated strategy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional
 
 from ..logic.formulas import Formula, atom, conj, exists, forall, implies, le, lt, neg, neq
 from ..logic.terms import Var, func

@@ -21,18 +21,15 @@ Rewrite, for each soft-state predicate ``p(A1..An)`` with lifetime ``L``:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from ..logic.terms import Const, Func, Term, Var
 from ..ndlog.ast import (
-    Aggregate,
     Assignment,
     Condition,
     HeadLiteral,
     Literal,
     MaterializeDecl,
-    NDlogError,
     Program,
     Rule,
 )

@@ -17,13 +17,12 @@ module provides:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from itertools import combinations
 from typing import Iterable, Mapping, Optional
 
 from .formulas import Comparison
-from .terms import Const, Func, Term, Var
+from .terms import Const, Func, Term
 
 
 ARITH_OPS = {"+", "-", "*", "/"}
@@ -310,7 +309,7 @@ def _fm_unsat(constraints: list[Constraint]) -> bool:
                 # pivot (op') -rest/k  -> lower bound (inequality flips)
                 lowers.append((rest.scale(Fraction(-1) / k), c.op))
         new: list[Constraint] = list(others)
-        for (lo, lop), (hi, hop) in ((l, u) for l in lowers for u in uppers):
+        for (lo, lop), (hi, hop) in ((low, u) for low in lowers for u in uppers):
             op = "<" if "<" in (lop, hop) and (lop == "<" or hop == "<") else "<="
             # lo <= pivot <= hi  =>  lo - hi <= 0
             new.append(Constraint(lo - hi, op))

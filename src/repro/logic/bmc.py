@@ -18,7 +18,6 @@ module provides that complementary machinery for the FVN substrate:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from fractions import Fraction
 from itertools import product
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 

@@ -15,9 +15,9 @@ are sets of formulas).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
-from .terms import ANY, Sort, Term, TermLike, Var, fresh_var, term
+from .terms import Term, TermLike, Var, fresh_var, term
 
 
 class Formula:

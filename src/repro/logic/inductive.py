@@ -21,22 +21,11 @@ parameters and a list of :class:`Clause` objects.  It supports:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from .formulas import (
-    Atom,
-    Exists,
-    Formula,
-    Implies,
-    atom,
-    close,
-    conj,
-    disj,
-    exists,
-    forall,
-)
-from .terms import Term, Var, fresh_var
+from .formulas import Atom, Formula, Implies, close, conj, disj, exists, forall
+from .terms import Var, fresh_var
 
 
 @dataclass(frozen=True)
@@ -157,7 +146,6 @@ class InductiveDefinition:
             hyps: list[Formula] = [body]
             for rec in self.recursive_atoms(clause):
                 rec_inst = rec.substitute(subst)
-                ih = goal
                 mapping = dict(zip(goal_params, rec_inst.args))
                 hyps.append(goal.substitute(mapping))
             ob = forall(

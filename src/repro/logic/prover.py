@@ -22,7 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
-from .formulas import Atom, Comparison, Exists, Forall, Formula
+from .formulas import Atom, Exists, Forall, Formula
 from .sequent import Sequent
 from .tactics import (
     TACTICS,

@@ -17,8 +17,7 @@ recognises:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
 
 from .arith import ComparisonSet, evaluate
 from .formulas import (

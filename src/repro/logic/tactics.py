@@ -15,7 +15,7 @@ moves on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from .formulas import (
     And,
@@ -30,9 +30,8 @@ from .formulas import (
     Not,
     Or,
     Truth,
-    conj,
 )
-from .inductive import DefinitionTable, InductiveDefinition
+from .inductive import DefinitionTable
 from .sequent import Sequent
 from .substitution import Substitution, match_formula
 from .terms import Term, TermLike, Var, fresh_var, term

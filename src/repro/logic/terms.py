@@ -13,8 +13,8 @@ Terms are immutable.  All construction goes through the public classes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence, Union
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Union
 
 
 class Sort:

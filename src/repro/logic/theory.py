@@ -22,14 +22,14 @@ This module provides the equivalent mechanism for the FVN substrate:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
 
 from .formulas import Atom, Comparison, Formula
 from .inductive import DefinitionTable, InductiveDefinition
 from .prover import ProofResult, prove
 from .tactics import ProofContext
-from .terms import Func, Sort, Term, Var
+from .terms import Func, Term
 
 
 @dataclass

@@ -17,7 +17,7 @@ obligations of the abstract ``routeAlgebra`` theory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Optional, Sequence
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .algebra import Label, RoutingAlgebra, Signature
+from .algebra import RoutingAlgebra
 
 
 #: Names of the four axioms, in the order the paper lists them.
@@ -97,11 +97,11 @@ def check_absorption(algebra: RoutingAlgebra, *, sample: int = 64) -> AxiomRepor
     """``∀ l: l ⊕ φ = φ``."""
 
     cases = 0
-    for l in algebra.labels[:sample]:
+    for label in algebra.labels[:sample]:
         cases += 1
-        if algebra.apply(l, algebra.prohibited) != algebra.prohibited:
+        if algebra.apply(label, algebra.prohibited) != algebra.prohibited:
             return AxiomReport(
-                algebra.name, "absorption", False, cases, {"label": l}
+                algebra.name, "absorption", False, cases, {"label": label}
             )
     return AxiomReport(algebra.name, "absorption", True, cases)
 
@@ -113,20 +113,20 @@ def check_monotonicity(
 
     cases = 0
     name = "strict_monotonicity" if strict else "monotonicity"
-    for l in algebra.labels[:sample]:
+    for label in algebra.labels[:sample]:
         for s in algebra.sample(sample):
             cases += 1
-            extended = algebra.apply(l, s)
+            extended = algebra.apply(label, s)
             if strict:
                 if s != algebra.prohibited and not (
                     algebra.prefer(s, extended) and not algebra.equivalent(s, extended)
                 ):
                     return AxiomReport(
-                        algebra.name, name, False, cases, {"label": l, "s": s, "l⊕s": extended}
+                        algebra.name, name, False, cases, {"label": label, "s": s, "l⊕s": extended}
                     )
             elif not algebra.prefer(s, extended):
                 return AxiomReport(
-                    algebra.name, name, False, cases, {"label": l, "s": s, "l⊕s": extended}
+                    algebra.name, name, False, cases, {"label": label, "s": s, "l⊕s": extended}
                 )
     return AxiomReport(algebra.name, name, True, cases)
 
@@ -136,19 +136,19 @@ def check_isotonicity(algebra: RoutingAlgebra, *, sample: int = 32) -> AxiomRepo
 
     cases = 0
     sigs = algebra.sample(sample)
-    for l in algebra.labels[:sample]:
+    for label in algebra.labels[:sample]:
         for s1 in sigs:
             for s2 in sigs:
                 cases += 1
                 if algebra.prefer(s1, s2) and not algebra.prefer(
-                    algebra.apply(l, s1), algebra.apply(l, s2)
+                    algebra.apply(label, s1), algebra.apply(label, s2)
                 ):
                     return AxiomReport(
                         algebra.name,
                         "isotonicity",
                         False,
                         cases,
-                        {"label": l, "s1": s1, "s2": s2},
+                        {"label": label, "s1": s1, "s2": s2},
                     )
     return AxiomReport(algebra.name, "isotonicity", True, cases)
 

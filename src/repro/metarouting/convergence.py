@@ -12,8 +12,8 @@ counterexample generator when they do not hold.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from .algebra import RoutingAlgebra, Signature
 from .axioms import AlgebraReport, check_all_axioms

@@ -16,21 +16,13 @@ writes the instantiation, the machinery discharges the obligations.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from ..logic.formulas import atom, eq, forall, implies
 from ..logic.terms import func, var
 from ..logic.theory import Interpretation, Obligation, Theory
 from .algebra import RoutingAlgebra
-from .axioms import (
-    AlgebraReport,
-    check_absorption,
-    check_all_axioms,
-    check_isotonicity,
-    check_maximality,
-    check_monotonicity,
-)
+from .axioms import AlgebraReport, check_all_axioms
 
 
 def route_algebra_theory() -> Theory:

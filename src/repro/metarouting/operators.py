@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product as cartesian_product
-from typing import Callable, Sequence
+from typing import Sequence
 
 from .algebra import Label, RoutingAlgebra, Signature
 from .axioms import check_all_axioms, check_monotonicity
@@ -93,7 +93,7 @@ def restrict_labels(
     preservation argument FVN discharges mechanically.
     """
 
-    kept = tuple(l for l in algebra.labels if l in set(allowed))
+    kept = tuple(label for label in algebra.labels if label in set(allowed))
     if not kept:
         raise ValueError("label restriction would leave no labels")
     return RoutingAlgebra(
@@ -122,11 +122,11 @@ def restrict_signatures(
     """
 
     kept = set(allowed) | {algebra.prohibited}
-    for l in algebra.labels:
+    for label in algebra.labels:
         for s in kept:
-            if algebra.apply(l, s) not in kept:
+            if algebra.apply(label, s) not in kept:
                 raise ValueError(
-                    f"signature restriction not closed: {l!r} ⊕ {s!r} leaves the subset"
+                    f"signature restriction not closed: {label!r} ⊕ {s!r} leaves the subset"
                 )
     ordered = tuple(s for s in algebra.signatures if s in kept)
     return RoutingAlgebra(

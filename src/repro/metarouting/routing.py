@@ -16,7 +16,7 @@ the algebra's preference relation.  It is used
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping, Optional
+from typing import Hashable, Iterable, Optional
 
 from .algebra import Label, RoutingAlgebra, Signature
 

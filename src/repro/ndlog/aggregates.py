@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
-from .ast import Aggregate, HeadLiteral, NDlogError
+from .ast import HeadLiteral, NDlogError
 
 
 def _agg_min(values: Sequence) -> object:

@@ -18,10 +18,10 @@ keeps the NDlog→logic translation (arc 4 of Figure 1) a structural walk.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from ..logic.formulas import COMPARISONS
-from ..logic.terms import Const, Func, Term, Var
+from ..logic.terms import Term, Var
 
 
 class NDlogError(Exception):

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..logic.bmc import EvaluationError, FunctionRegistry, ground_eval
-from ..logic.terms import Const, Func, Term, Var
+from ..logic.terms import Const, Var
 from .aggregates import aggregate_rows
 from .ast import (
     Assignment,
@@ -45,14 +45,20 @@ def _compare(op: str, left: object, right: object) -> bool:
         return left == right
     if op == "/=":
         return left != right
-    if op == "<":
-        return left < right  # type: ignore[operator]
-    if op == "<=":
-        return left <= right  # type: ignore[operator]
-    if op == ">":
-        return left > right  # type: ignore[operator]
-    if op == ">=":
-        return left >= right  # type: ignore[operator]
+    try:
+        if op == "<":
+            return left < right  # type: ignore[operator]
+        if op == "<=":
+            return left <= right  # type: ignore[operator]
+        if op == ">":
+            return left > right  # type: ignore[operator]
+        if op == ">=":
+            return left >= right  # type: ignore[operator]
+    except TypeError as exc:
+        raise EvaluationError(
+            f"cannot compare {left!r} {op} {right!r}: operands of types "
+            f"{type(left).__name__} and {type(right).__name__} are not ordered"
+        ) from exc
     raise NDlogError(f"unknown comparison operator {op!r}")
 
 
@@ -124,6 +130,42 @@ def match_literal(
     return local
 
 
+class DeltaIndex:
+    """Per-pass grouped views over semi-naive delta rows.
+
+    Delta relations are small but are matched once per outer binding, so the
+    same hash-grouping used for stored tables pays off: rows are grouped by
+    the literal's bound argument positions on first probe and reused for the
+    rest of the pass.
+    """
+
+    def __init__(self, delta: Mapping[str, Iterable[tuple]]) -> None:
+        self._rows: dict[str, list[tuple]] = {
+            predicate: [tuple(row) for row in rows] for predicate, rows in delta.items()
+        }
+        self._groups: dict[tuple[str, tuple[int, ...]], dict[tuple, list[tuple]]] = {}
+
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self._rows
+
+    def rows(self, predicate: str) -> Sequence[tuple]:
+        return self._rows.get(predicate, ())
+
+    def probe(
+        self, predicate: str, positions: tuple[int, ...], values: tuple
+    ) -> Sequence[tuple]:
+        key = (predicate, positions)
+        groups = self._groups.get(key)
+        if groups is None:
+            groups = {}
+            for row in self._rows.get(predicate, ()):
+                if positions[-1] >= len(row):
+                    continue
+                groups.setdefault(tuple(row[p] for p in positions), []).append(row)
+            self._groups[key] = groups
+        return groups.get(tuple(values), ())
+
+
 @dataclass
 class RuleFiring:
     """One derived head tuple together with provenance information."""
@@ -141,10 +183,24 @@ class RuleFiring:
 
 
 class RuleEngine:
-    """Evaluates individual rules against a database."""
+    """Evaluates individual rules against a database.
 
-    def __init__(self, registry: Optional[FunctionRegistry] = None) -> None:
+    With ``use_indexes`` (the default) body literals are matched by probing
+    per-predicate hash indexes on the argument positions already bound at
+    that point of the join, instead of scanning the whole relation.  The
+    index positions are selected automatically from each rule's join
+    pattern; ``use_indexes=False`` keeps the original scan-join behaviour
+    (used as the reference in property tests and benchmarks).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[FunctionRegistry] = None,
+        *,
+        use_indexes: bool = True,
+    ) -> None:
         self.registry = registry or builtin_registry()
+        self.use_indexes = use_indexes
         self._order_cache: dict[int, list[BodyItem]] = {}
 
     # ------------------------------------------------------------------
@@ -177,6 +233,7 @@ class RuleEngine:
         if delta is None:
             yield from self._solve(ordered, 0, dict(initial or {}), db, None, -1)
             return
+        view = delta if isinstance(delta, DeltaIndex) else DeltaIndex(delta)
         positive_positions = [
             i for i, item in enumerate(ordered) if isinstance(item, Literal) and not item.negated
         ]
@@ -184,14 +241,59 @@ class RuleEngine:
         for position in positive_positions:
             literal = ordered[position]
             assert isinstance(literal, Literal)
-            if literal.predicate not in delta:
+            if literal.predicate not in view:
                 continue
-            for binding in self._solve(ordered, 0, dict(initial or {}), db, delta, position):
+            for binding in self._solve(ordered, 0, dict(initial or {}), db, view, position):
                 key = tuple(sorted((v.name, _hashable(val)) for v, val in binding.items()))
                 if key in seen:
                     continue
                 seen.add(key)
                 yield binding
+
+    def _bound_positions(
+        self, literal: Literal, bindings: Bindings
+    ) -> tuple[tuple[int, ...], tuple]:
+        """Argument positions of ``literal`` whose value is already known.
+
+        A position is bound when it holds a variable present in ``bindings``
+        or a constant; these are the positions an index probe can use.
+        """
+
+        positions: list[int] = []
+        values: list[object] = []
+        for i, arg in enumerate(literal.args):
+            if isinstance(arg, Var):
+                if arg in bindings:
+                    positions.append(i)
+                    values.append(bindings[arg])
+            elif isinstance(arg, Const):
+                positions.append(i)
+                values.append(arg.value)
+        return tuple(positions), tuple(values)
+
+    def _db_rows(self, literal: Literal, bindings: Bindings, db: Database) -> Iterable[tuple]:
+        if not self.use_indexes:
+            return db.rows(literal.predicate)
+        positions, values = self._bound_positions(literal, bindings)
+        if not positions:
+            return db.rows(literal.predicate)
+        try:
+            return db.probe(literal.predicate, positions, values)
+        except TypeError:  # unhashable probe value — fall back to scanning
+            return db.rows(literal.predicate)
+
+    def _delta_rows(
+        self, literal: Literal, bindings: Bindings, delta: "DeltaIndex"
+    ) -> Iterable[tuple]:
+        if not self.use_indexes:
+            return delta.rows(literal.predicate)
+        positions, values = self._bound_positions(literal, bindings)
+        if not positions:
+            return delta.rows(literal.predicate)
+        try:
+            return delta.probe(literal.predicate, positions, values)
+        except TypeError:
+            return delta.rows(literal.predicate)
 
     def _solve(
         self,
@@ -199,7 +301,7 @@ class RuleEngine:
         index: int,
         bindings: Bindings,
         db: Database,
-        delta: Optional[Mapping[str, Iterable[tuple]]],
+        delta: Optional["DeltaIndex"],
         delta_position: int,
     ) -> Iterator[Bindings]:
         if index == len(items):
@@ -208,9 +310,9 @@ class RuleEngine:
         item = items[index]
         if isinstance(item, Literal) and not item.negated:
             if delta is not None and index == delta_position:
-                rows: Iterable[tuple] = delta.get(item.predicate, ())
+                rows: Iterable[tuple] = self._delta_rows(item, bindings, delta)
             else:
-                rows = db.rows(item.predicate)
+                rows = self._db_rows(item, bindings, db)
             for row in rows:
                 local = match_literal(item, row, bindings, self.registry)
                 if local is not None:
@@ -309,10 +411,11 @@ class Evaluator:
         program: Program,
         *,
         registry: Optional[FunctionRegistry] = None,
+        use_indexes: bool = True,
     ) -> None:
         program.check()
         self.program = program
-        self.engine = RuleEngine(registry)
+        self.engine = RuleEngine(registry, use_indexes=use_indexes)
         self.stratification: Stratification = stratify(program)
 
     def _prepare_database(self, extra_facts: Iterable[Fact | tuple]) -> Database:
@@ -363,10 +466,9 @@ class Evaluator:
                 if stats.iterations > max_iterations:
                     raise NDlogError("evaluation did not reach a fixpoint (bound exceeded)")
                 new_delta: dict[str, set[tuple]] = {}
+                view = None if first_round else DeltaIndex(delta)
                 for rule in plain_rules:
-                    firings = self.engine.fire_rule(
-                        rule, db, delta=None if first_round else delta
-                    )
+                    firings = self.engine.fire_rule(rule, db, delta=view)
                     for firing in firings:
                         stats.firings += 1
                         if db.insert(firing.predicate, firing.values):
@@ -385,8 +487,9 @@ def evaluate(
     extra_facts: Iterable[Fact | tuple] = (),
     *,
     registry: Optional[FunctionRegistry] = None,
+    use_indexes: bool = True,
 ) -> Database:
     """Convenience wrapper: evaluate and return just the database."""
 
-    db, _ = Evaluator(program, registry=registry).run(extra_facts)
+    db, _ = Evaluator(program, registry=registry, use_indexes=use_indexes).run(extra_facts)
     return db

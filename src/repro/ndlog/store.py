@@ -7,7 +7,11 @@ A :class:`Table` stores ground tuples for one predicate, with:
   how declarative networking implements route updates in place;
 * optional **soft-state lifetimes** — tuples expire ``lifetime`` seconds
   after their last insertion/refresh (paper Section 4.2);
-* optional **maximum size** with FIFO eviction.
+* optional **maximum size** with FIFO eviction;
+* **hash indexes** on argument positions — built lazily the first time a
+  join probes a position set, then maintained incrementally on every
+  insert/replace/delete/expiry.  Indexes are what let the evaluators join
+  body literals by probing instead of scanning whole relations.
 
 A :class:`Database` is a collection of tables keyed by predicate name, the
 unit of state held by the centralized evaluator and by each node of the
@@ -17,8 +21,8 @@ distributed runtime.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
 
 from .ast import MaterializeDecl
 
@@ -52,6 +56,8 @@ class Table:
         self.lifetime = lifetime
         self.max_size = max_size
         self._rows: "OrderedDict[tuple, StoredTuple]" = OrderedDict()
+        #: positions → {values-at-positions → {primary key → row}}
+        self._indexes: dict[tuple[int, ...], dict[tuple, dict[tuple, tuple]]] = {}
 
     @classmethod
     def from_declaration(cls, decl: MaterializeDecl) -> "Table":
@@ -95,12 +101,16 @@ class Table:
         self._rows[key] = StoredTuple(row, now, expires)
         if existing is not None and existing.values == row:
             return False
+        if existing is not None:
+            self._index_remove(key, existing.values)
+        self._index_add(key, row)
         if existing is None and len(self._rows) > self.max_size:
             # FIFO eviction of the oldest entry that is not the new one
             oldest_key = next(iter(self._rows))
             if oldest_key != key:
-                del self._rows[oldest_key]
-        return existing is None or existing.values != row
+                evicted = self._rows.pop(oldest_key)
+                self._index_remove(oldest_key, evicted.values)
+        return True
 
     def current(self, values: Sequence[object]) -> Optional[tuple]:
         """The row currently stored under the key of ``values``, if any."""
@@ -112,25 +122,95 @@ class Table:
         """Delete a tuple (by key).  Returns ``True`` if present."""
 
         key = self.key_of(tuple(values))
-        if key in self._rows:
-            del self._rows[key]
-            return True
-        return False
+        stored = self._rows.pop(key, None)
+        if stored is None:
+            return False
+        self._index_remove(key, stored.values)
+        return True
 
     def expire(self, now: float) -> list[tuple]:
         """Remove expired soft-state tuples, returning the removed rows."""
 
         if not self.is_soft_state:
             return []
-        removed = [st.values for st in self._rows.values() if st.is_expired(now)]
-        if removed:
-            self._rows = OrderedDict(
-                (k, st) for k, st in self._rows.items() if not st.is_expired(now)
-            )
+        removed: list[tuple] = []
+        for key, stored in list(self._rows.items()):
+            if stored.is_expired(now):
+                removed.append(stored.values)
+                del self._rows[key]
+                self._index_remove(key, stored.values)
         return removed
 
     def clear(self) -> None:
         self._rows.clear()
+        for positions in self._indexes:
+            self._indexes[positions] = {}
+
+    # ------------------------------------------------------------------
+    # Hash indexes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bucket_key(row: tuple, positions: tuple[int, ...]) -> Optional[tuple]:
+        if positions and positions[-1] >= len(row):
+            return None  # row too short to ever match a literal of this shape
+        key = tuple(row[p] for p in positions)
+        try:
+            hash(key)
+        except TypeError:
+            # rows with unhashable values at indexed positions stay out of
+            # the index; probes for such values raise TypeError themselves
+            # and fall back to scanning, so no match is lost (builtin
+            # unhashables never compare equal to hashable values)
+            return None
+        return key
+
+    def _index_add(self, key: tuple, row: tuple) -> None:
+        for positions, buckets in self._indexes.items():
+            bucket_key = self._bucket_key(row, positions)
+            if bucket_key is None:
+                continue
+            buckets.setdefault(bucket_key, {})[key] = row
+
+    def _index_remove(self, key: tuple, row: tuple) -> None:
+        for positions, buckets in self._indexes.items():
+            bucket_key = self._bucket_key(row, positions)
+            if bucket_key is None:
+                continue
+            bucket = buckets.get(bucket_key)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del buckets[bucket_key]
+
+    def index_on(self, positions: Sequence[int]) -> dict[tuple, dict[tuple, tuple]]:
+        """The hash index over ``positions`` (ascending), built on first use."""
+
+        positions = tuple(positions)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for key, stored in self._rows.items():
+                bucket_key = self._bucket_key(stored.values, positions)
+                if bucket_key is None:
+                    continue
+                index.setdefault(bucket_key, {})[key] = stored.values
+            self._indexes[positions] = index
+        return index
+
+    def probe(self, positions: Sequence[int], values: Sequence[object]) -> list[tuple]:
+        """Rows whose arguments at ``positions`` equal ``values``.
+
+        Equivalent to filtering :meth:`rows` but O(matches) after the index
+        over ``positions`` exists.  Raises ``TypeError`` for unhashable probe
+        values (callers fall back to a scan).
+        """
+
+        bucket = self.index_on(positions).get(tuple(values))
+        return list(bucket.values()) if bucket else []
+
+    @property
+    def index_count(self) -> int:
+        return len(self._indexes)
 
     # ------------------------------------------------------------------
     # Reads
@@ -201,6 +281,15 @@ class Database:
 
     def rows(self, predicate: str) -> list[tuple]:
         return self.table(predicate).rows() if predicate in self._tables else []
+
+    def probe(
+        self, predicate: str, positions: Sequence[int], values: Sequence[object]
+    ) -> list[tuple]:
+        """Indexed lookup of a predicate's rows by argument positions."""
+
+        if predicate not in self._tables:
+            return []
+        return self._tables[predicate].probe(positions, values)
 
     def expire(self, now: float) -> dict[str, list[tuple]]:
         """Expire soft state in every table; returns removed rows per predicate."""

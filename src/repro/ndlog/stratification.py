@@ -15,8 +15,7 @@ translation) needs to know:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
 
 from .ast import NDlogError, Program, Rule
 

@@ -18,8 +18,8 @@ artifacts support reproducing that claim:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Optional
+from dataclasses import dataclass
+from typing import Hashable, Optional
 
 from ..dn.network import Topology
 from ..ndlog.ast import Program

@@ -13,7 +13,7 @@ This is the paper's running example, provided as:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Optional
+from typing import Hashable, Optional
 
 from ..dn.engine import DistributedEngine, EngineConfig
 from ..dn.network import Topology

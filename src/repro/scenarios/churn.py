@@ -1,0 +1,76 @@
+"""Link-churn schedules for dynamic scenarios.
+
+A churn schedule is a :class:`~repro.workloads.events.WorkloadScript` of
+timed perturbations generated from a topology: link failures (optionally
+followed by restoration) and link-cost changes.  Schedules are deterministic
+per seed and only ever reference links that exist in the topology.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..dn.network import Topology
+from ..workloads.events import WorkloadScript
+
+
+def _distinct_links(topology: Topology, rng: random.Random) -> list[tuple]:
+    """Up links as undirected pairs, shuffled deterministically."""
+
+    seen: set[frozenset] = set()
+    pairs: list[tuple] = []
+    for link in topology.up_links():
+        key = frozenset((link.src, link.dst))
+        if key in seen:
+            continue
+        seen.add(key)
+        pairs.append((link.src, link.dst))
+    rng.shuffle(pairs)
+    return pairs
+
+
+def link_churn_schedule(
+    topology: Topology,
+    *,
+    events: int = 6,
+    start: float = 1.0,
+    spacing: float = 0.5,
+    seed: int = 0,
+    restore_delay: Optional[float] = None,
+) -> WorkloadScript:
+    """Fail ``events`` distinct random links at ``spacing`` intervals.
+
+    With ``restore_delay`` every failed link comes back up that many seconds
+    after its failure, producing sustained up/down churn rather than
+    monotone degradation.
+    """
+
+    rng = random.Random(seed)
+    script = WorkloadScript()
+    pairs = _distinct_links(topology, rng)[:events]
+    for index, (src, dst) in enumerate(pairs):
+        at = start + index * spacing
+        script.fail_link(src, dst, at)
+        if restore_delay is not None:
+            script.restore_link(src, dst, at + restore_delay)
+    return script
+
+
+def cost_churn_schedule(
+    topology: Topology,
+    *,
+    events: int = 6,
+    start: float = 1.0,
+    spacing: float = 0.5,
+    seed: int = 0,
+    max_cost: int = 10,
+) -> WorkloadScript:
+    """Re-cost ``events`` distinct random links at ``spacing`` intervals."""
+
+    rng = random.Random(seed)
+    script = WorkloadScript()
+    pairs = _distinct_links(topology, rng)[:events]
+    for index, (src, dst) in enumerate(pairs):
+        script.set_cost(src, dst, rng.randint(1, max_cost), start + index * spacing)
+    return script

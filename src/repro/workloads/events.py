@@ -103,7 +103,7 @@ def random_failure_workload(
     """A script failing ``failures`` random distinct links at regular intervals."""
 
     rng = random.Random(seed)
-    links = [(l.src, l.dst) for l in topology.up_links()]
+    links = [(link.src, link.dst) for link in topology.up_links()]
     rng.shuffle(links)
     chosen: list[tuple] = []
     seen: set[frozenset] = set()

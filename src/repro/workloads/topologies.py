@@ -8,9 +8,8 @@ layers.  Deterministic seeds keep benchmark runs reproducible.
 from __future__ import annotations
 
 import random
-from typing import Hashable, Iterable, Optional
+from typing import Hashable
 
-import networkx as nx
 
 from ..dn.network import Topology
 
@@ -124,11 +123,11 @@ def as_hierarchy_topology(
 def to_edge_list(topology: Topology) -> list[tuple[Hashable, Hashable, float]]:
     """The topology's up links as (src, dst, cost) triples."""
 
-    return [(l.src, l.dst, l.cost) for l in topology.up_links()]
+    return [(link.src, link.dst, link.cost) for link in topology.up_links()]
 
 
 def labeled_edges(topology: Topology, label_of=None) -> list[tuple]:
     """Edges annotated with algebra labels (default: the link cost)."""
 
     label_of = label_of or (lambda link: link.cost)
-    return [(l.src, l.dst, label_of(l)) for l in topology.up_links()]
+    return [(link.src, link.dst, label_of(link)) for link in topology.up_links()]

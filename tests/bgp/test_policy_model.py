@@ -1,6 +1,5 @@
 """Unit tests for BGP policies, the component model, and NDlog generation."""
 
-import pytest
 
 from repro.bgp.generator import (
     bgp_component_program,

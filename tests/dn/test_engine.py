@@ -113,3 +113,39 @@ class TestDynamics:
         engine.seed_facts(extra_facts=[("in", (1, 99))])
         with pytest.raises(NDlogError):
             engine.run()
+
+
+class TestSoftStateRefresh:
+    SOURCE = """
+    materialize(ping, 2, infinity, keys(1,2)).
+    materialize(echo, 2, infinity, keys(1,2)).
+    e1 echo(@X,Y) :- ping(@X,Y).
+    ping(@1,2).
+    """
+
+    def _run(self, batch_deltas: bool):
+        from repro.ndlog.parser import parse_program
+
+        program = parse_program(self.SOURCE, "softstate")
+        topo = Topology.from_edges([(1, 2)])
+        config = EngineConfig(
+            link_predicate=None,
+            refresh_interval=3.0,
+            expiry_scan_interval=0.5,
+            batch_deltas=batch_deltas,
+        )
+        engine = DistributedEngine(program, topo, config=config)
+        engine.run(until=10.0)
+        return engine
+
+    def test_refresh_rederives_after_expiry_batched(self):
+        # regression: with deferred flushes, a refresh after expiry used to
+        # insert the base fact directly first, so the queued re-insert saw
+        # no change and derived soft state was never re-derived
+        engine = self._run(batch_deltas=True)
+        assert (1, 2) in engine.node(1).db.table("ping")
+        assert (1, 2) in engine.node(1).db.table("echo")
+
+    def test_refresh_rederives_after_expiry_per_tuple(self):
+        engine = self._run(batch_deltas=False)
+        assert (1, 2) in engine.node(1).db.table("echo")

@@ -15,7 +15,7 @@ from repro.fvn.logic_to_ndlog import (
     component_to_rules,
     composite_to_program,
 )
-from repro.logic.formulas import atom, conj, eq
+from repro.logic.formulas import eq
 from repro.logic.terms import Var, func
 from repro.ndlog.seminaive import evaluate
 

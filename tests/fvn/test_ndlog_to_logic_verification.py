@@ -4,10 +4,8 @@ import pytest
 
 from repro.fvn.ndlog_to_logic import aggregate_rule_axioms, program_to_theory
 from repro.fvn.properties import (
-    best_path_is_path,
     path_implies_link,
     route_optimality,
-    route_optimality_weak,
     standard_property_suite,
 )
 from repro.fvn.verification import VerificationManager
@@ -114,7 +112,6 @@ class TestVerificationManager:
 
     def test_distance_vector_theory_also_verifies(self):
         manager = VerificationManager(parse_program(DISTANCE_VECTOR_SOURCE, "dv"))
-        spec = route_optimality_weak(best_predicate="route", path_predicate="cost")
         # route/cost have different arities than the path-vector schema, so the
         # generic property does not apply; instead check the bestCost bound.
         from repro.fvn.properties import PropertySpec

@@ -1,7 +1,6 @@
 """Unit tests for the soft-state rewrite, transition system, model checker,
 and the end-to-end FVN framework."""
 
-import pytest
 
 from repro.bgp.policy import shortest_path_policies
 from repro.bgp.model import bgp_model
@@ -15,9 +14,8 @@ from repro.fvn.modelcheck import (
 from repro.fvn.properties import route_optimality, standard_property_suite
 from repro.fvn.soft_state_rewrite import RewriteMetrics, rewrite_soft_state
 from repro.metarouting import bgp_system, safe_bgp_system
-from repro.ndlog.parser import parse_program
 from repro.protocols.heartbeat import heartbeat_facts, heartbeat_program
-from repro.protocols.pathvector import PATH_VECTOR_SOURCE, path_vector_program
+from repro.protocols.pathvector import path_vector_program
 from repro.workloads.topologies import line_topology
 
 

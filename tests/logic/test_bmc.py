@@ -7,7 +7,7 @@ from repro.logic.bmc import (
     ground_eval,
     least_fixpoint,
 )
-from repro.logic.formulas import atom, conj, eq, exists, forall, implies, lt, le
+from repro.logic.formulas import atom, conj, eq, exists, forall, implies, lt
 from repro.logic.inductive import Clause, DefinitionTable, InductiveDefinition
 from repro.logic.terms import Var, func
 

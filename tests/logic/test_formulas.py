@@ -6,9 +6,6 @@ from repro.logic.formulas import (
     Comparison,
     FALSE,
     Forall,
-    Exists,
-    Implies,
-    Not,
     Or,
     TRUE,
     atom,

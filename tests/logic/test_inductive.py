@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.logic.formulas import And, Atom, Exists, Iff, Or, atom, conj, eq
+from repro.logic.formulas import Exists, Or, atom, conj, eq
 from repro.logic.inductive import Clause, DefinitionTable, InductiveDefinition
-from repro.logic.terms import Const, Var, func
+from repro.logic.terms import Var, func
 
 
 def path_definition() -> InductiveDefinition:

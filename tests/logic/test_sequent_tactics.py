@@ -2,18 +2,7 @@
 
 import pytest
 
-from repro.logic.formulas import (
-    And,
-    atom,
-    conj,
-    eq,
-    exists,
-    forall,
-    implies,
-    lt,
-    le,
-    neg,
-)
+from repro.logic.formulas import atom, conj, eq, exists, forall, implies, lt, le, neg
 from repro.logic.inductive import Clause, DefinitionTable, InductiveDefinition
 from repro.logic.sequent import Sequent
 from repro.logic.tactics import (

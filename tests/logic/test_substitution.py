@@ -10,7 +10,7 @@ from repro.logic.substitution import (
     unify_atoms,
     unify_terms,
 )
-from repro.logic.terms import Const, Func, Var, func
+from repro.logic.terms import Const, Var, func
 
 
 class TestUnification:

@@ -2,17 +2,7 @@
 
 import pytest
 
-from repro.logic.terms import (
-    Const,
-    Func,
-    Var,
-    fresh_name,
-    fresh_var,
-    func,
-    term,
-    var,
-    variables_in,
-)
+from repro.logic.terms import Const, Var, fresh_name, fresh_var, func, term, var, variables_in
 
 
 class TestTermConstruction:

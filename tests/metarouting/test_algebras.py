@@ -1,10 +1,8 @@
 """Unit tests for base algebras and the four metarouting axioms."""
 
-from fractions import Fraction
 
 from repro.metarouting import (
     add_algebra,
-    all_base_algebras,
     check_absorption,
     check_all_axioms,
     check_isotonicity,
@@ -17,7 +15,7 @@ from repro.metarouting import (
     usable_path_algebra,
     widest_path_algebra,
 )
-from repro.metarouting.algebra import RoutingAlgebra, algebra_from_rank
+from repro.metarouting.algebra import algebra_from_rank
 
 
 class TestAlgebraBasics:
@@ -40,7 +38,7 @@ class TestAlgebraBasics:
             "broken",
             signatures=(1, 2),
             labels=(1,),
-            apply_label=lambda l, s: s,
+            apply_label=lambda label, s: s,
             rank=lambda s: s,
             prohibited=2,
         )
@@ -90,7 +88,7 @@ class TestAxioms:
             "brokenAbsorb",
             signatures=(0, 1, 2, 99),
             labels=(1,),
-            apply_label=lambda l, s: min(l + s, 99) if s != 99 else 1,  # violates absorption
+            apply_label=lambda label, s: min(label + s, 99) if s != 99 else 1,  # violates absorption
             rank=lambda s: s,
             prohibited=99,
         )

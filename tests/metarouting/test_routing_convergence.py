@@ -7,7 +7,6 @@ from repro.metarouting import (
     asynchronous_routes,
     bgp_system,
     compute_routes,
-    hop_count_algebra,
     optimality_gap,
     safe_bgp_system,
     widest_path_algebra,

@@ -3,16 +3,7 @@
 import pytest
 
 from repro.logic.terms import Const, Var
-from repro.ndlog.ast import (
-    Aggregate,
-    Fact,
-    HeadLiteral,
-    Literal,
-    MaterializeDecl,
-    NDlogError,
-    Program,
-    Rule,
-)
+from repro.ndlog.ast import Aggregate, HeadLiteral, Literal, MaterializeDecl, NDlogError, Program
 from repro.ndlog.parser import parse_program, parse_rule
 from repro.ndlog.store import Database, Table
 

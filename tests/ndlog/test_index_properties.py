@@ -1,0 +1,200 @@
+"""Property tests for the indexed evaluation layer.
+
+The hash-index layer must be invisible: for any program and database, the
+indexed evaluator has to produce exactly the fixpoint of the naive
+scan-join evaluator, and a table probe has to agree with a full-scan filter
+after any mutation sequence.  Randomized programs/databases come from
+hypothesis strategies.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ndlog.parser import parse_program
+from repro.ndlog.seminaive import evaluate
+from repro.ndlog.store import Table
+from repro.protocols.distancevector import distance_vector_program
+from repro.protocols.pathvector import path_vector_program
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+nodes = st.integers(min_value=0, max_value=5)
+
+edges = st.lists(
+    st.tuples(nodes, nodes, st.integers(min_value=1, max_value=4)).filter(
+        lambda e: e[0] != e[1]
+    ),
+    min_size=1,
+    max_size=12,
+    unique_by=lambda e: (e[0], e[1]),
+)
+
+#: Optional rule templates mixing recursion, constants, conditions,
+#: negation, and aggregation over a base edge relation e/3.
+RULE_TEMPLATES = [
+    "p(@X,Y,C) :- e(@X,Y,C).",
+    "p(@X,Z,C) :- e(@X,Y,C1), p(@Y,Z,C2), C=C1+C2, C<=8.",
+    "q(@X,Y) :- p(@X,Y,C), C<={bound}.",
+    "r(@X,Y) :- p(@X,Y,C), e(@Y,X,C2).",
+    "s(@X,Y) :- p(@X,Y,C), X!=Y.",
+    "t(@X,Y) :- q(@X,Y), !e(@X,Y,{cost}).",
+    "m(@X,min<C>) :- p(@X,Y,C).",
+    "k(@X,count<Y>) :- q(@X,Y).",
+    "c(@X,Y) :- e(@X,Y,{cost}).",
+]
+
+programs = st.builds(
+    lambda picks, bound, cost: "\n".join(
+        [RULE_TEMPLATES[0]]
+        + [RULE_TEMPLATES[i].format(bound=bound, cost=cost) for i in sorted(picks)]
+    ),
+    st.sets(st.integers(min_value=1, max_value=len(RULE_TEMPLATES) - 1), max_size=6),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=4),
+)
+
+
+def fixpoints_match(source: str, facts) -> None:
+    program_a = parse_program(source, "indexed")
+    program_b = parse_program(source, "naive")
+    indexed = evaluate(program_a, facts, use_indexes=True)
+    naive = evaluate(program_b, facts, use_indexes=False)
+    assert indexed.snapshot() == naive.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# Indexed fixpoint == naive fixpoint
+# ---------------------------------------------------------------------------
+
+
+class TestIndexedFixpointEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(source=programs, edge_list=edges)
+    def test_randomized_programs_and_databases(self, source, edge_list):
+        facts = [("e", edge) for edge in edge_list]
+        fixpoints_match(source, facts)
+
+    @settings(max_examples=15, deadline=None)
+    @given(edge_list=edges)
+    def test_path_vector_fixpoint(self, edge_list):
+        facts = [("link", edge) for edge in edge_list]
+        program = path_vector_program()
+        indexed = evaluate(program, facts, use_indexes=True)
+        naive = evaluate(path_vector_program(), facts, use_indexes=False)
+        assert indexed.snapshot() == naive.snapshot()
+
+    @settings(max_examples=10, deadline=None)
+    @given(edge_list=edges)
+    def test_distance_vector_fixpoint(self, edge_list):
+        facts = [("link", edge) for edge in edge_list]
+        indexed = evaluate(distance_vector_program(), facts, use_indexes=True)
+        naive = evaluate(distance_vector_program(), facts, use_indexes=False)
+        assert indexed.snapshot() == naive.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# Table probe == scan filter under mutation
+# ---------------------------------------------------------------------------
+
+row_values = st.tuples(nodes, nodes, st.integers(min_value=1, max_value=3))
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), row_values),
+        st.tuples(st.just("delete"), row_values),
+    ),
+    max_size=40,
+)
+
+
+class TestProbeMatchesScan:
+    @settings(max_examples=50, deadline=None)
+    @given(ops=operations, positions=st.sets(st.integers(0, 2), min_size=1, max_size=3))
+    def test_probe_after_mutations(self, ops, positions):
+        table = Table("p", keys=(0, 1))
+        positions = tuple(sorted(positions))
+        # probe early so the index must be *maintained*, not rebuilt
+        table.probe(positions, (0,) * len(positions))
+        for op, row in ops:
+            if op == "insert":
+                table.insert(row)
+            else:
+                table.delete(row)
+        for row in table.rows():
+            probe_values = tuple(row[p] for p in positions)
+            expected = [
+                r for r in table.rows() if tuple(r[p] for p in positions) == probe_values
+            ]
+            assert sorted(table.probe(positions, probe_values)) == sorted(expected)
+        assert table.probe(positions, (99,) * len(positions)) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=operations)
+    def test_probe_after_expiry(self, ops):
+        table = Table("soft", keys=(0, 1), lifetime=5.0)
+        now = 0.0
+        for op, row in ops:
+            now += 0.5
+            if op == "insert":
+                table.insert(row, now)
+            else:
+                table.delete(row)
+            table.expire(now - 4.0)
+        table.expire(now)
+        for row in table.rows():
+            assert row in table.probe((0,), (row[0],))
+        live = set(table.rows())
+        for bucket_rows in [table.probe((0,), (v,)) for v in range(6)]:
+            for row in bucket_rows:
+                assert tuple(row) in live
+
+    def test_index_survives_keyed_replacement(self):
+        table = Table("route", keys=(0, 1))
+        table.insert((1, 2, "old"))
+        assert table.probe((2,), ("old",)) == [(1, 2, "old")]
+        table.insert((1, 2, "new"))
+        assert table.probe((2,), ("old",)) == []
+        assert table.probe((2,), ("new",)) == [(1, 2, "new")]
+
+    def test_index_respects_fifo_eviction(self):
+        table = Table("small", max_size=2)
+        table.insert((1,))
+        assert table.probe((0,), (1,)) == [(1,)]
+        table.insert((2,))
+        table.insert((3,))  # evicts (1,)
+        assert table.probe((0,), (1,)) == []
+        assert table.probe((0,), (3,)) == [(3,)]
+
+    def test_unhashable_probe_value_raises_typeerror(self):
+        table = Table("p")
+        table.insert((1, 2))
+        with pytest.raises(TypeError):
+            table.probe((0,), ([1, 2],))
+
+
+class TestUnhashableRows:
+    def test_insert_with_existing_index_tolerates_unhashable_values(self):
+        # regression: building an index and then inserting a row whose value
+        # at the indexed position is unhashable used to raise TypeError
+        table = Table("p", keys=(0,))
+        table.insert((1, "a"))
+        assert table.probe((1,), ("a",)) == [(1, "a")]
+        table.insert((2, ["unhashable"]))
+        assert (2, ["unhashable"]) in table
+        # hashable probes still work; the unhashable row can never match one
+        assert table.probe((1,), ("a",)) == [(1, "a")]
+        # probing with the unhashable value raises, and the scan path finds it
+        with pytest.raises(TypeError):
+            table.probe((1,), (["unhashable"],))
+        assert (2, ["unhashable"]) in table.rows()
+
+    def test_delete_unhashable_row_with_existing_index(self):
+        table = Table("p", keys=(0,))
+        table.probe((1,), ("x",))  # force index creation
+        table.insert((1, ["v"]))
+        assert table.delete((1, ["v"]))
+        assert table.rows() == []

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.logic.terms import Const, Func, Var
-from repro.ndlog.ast import Aggregate, Assignment, Condition, Literal
+from repro.ndlog.ast import Assignment, Condition, Literal
 from repro.ndlog.parser import ParseError, parse_program, parse_rule, tokenize
 from repro.protocols.pathvector import PATH_VECTOR_SOURCE
 

@@ -5,7 +5,6 @@ import pytest
 from repro.ndlog.ast import NDlogError
 from repro.ndlog.parser import parse_program
 from repro.ndlog.seminaive import Evaluator, evaluate
-from repro.ndlog.stratification import stratify
 from repro.protocols.pathvector import PATH_VECTOR_SOURCE
 
 
@@ -103,3 +102,25 @@ class TestSemantics:
         db1 = evaluate(program, TRIANGLE)
         db2 = evaluate(localized, TRIANGLE)
         assert set(db1.rows("bestPath")) == set(db2.rows("bestPath"))
+
+
+class TestComparisonErrors:
+    def test_uncomparable_condition_raises_evaluation_error(self):
+        from repro.logic.bmc import EvaluationError
+
+        program = parse_program("small(@X,Y) :- t(@X,Y), Y < 3.")
+        with pytest.raises(EvaluationError, match="cannot compare"):
+            evaluate(program, [("t", (1, "not-a-number"))])
+
+    def test_uncomparable_operands_name_both_types(self):
+        from repro.logic.bmc import EvaluationError
+        from repro.ndlog.seminaive import _compare
+
+        with pytest.raises(EvaluationError, match="str and int"):
+            _compare("<=", "s", 3)
+
+    def test_equality_on_mixed_types_still_works(self):
+        # = and /= are defined for any operand pair; only orderings raise
+        program = parse_program("same(@X,Y) :- t(@X,Y), Y = 3.")
+        db = evaluate(program, [("t", (1, "s")), ("t", (2, 3))])
+        assert db.rows("same") == [(2, 3)]

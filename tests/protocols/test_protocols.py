@@ -9,7 +9,6 @@ from repro.protocols import (
     distance_vector_program,
     heartbeat_facts,
     heartbeat_program,
-    link_state_program,
     path_vector_program,
 )
 from repro.ndlog.seminaive import evaluate
@@ -23,8 +22,17 @@ class TestPathVectorFrontEnd:
         central.run_centralized()
         distributed = PathVectorProtocol(topo)
         distributed.run_distributed()
-        as_set = lambda entries: {(e.source, e.destination, e.path, e.cost) for e in entries}
-        assert as_set(central.best_paths()) == as_set(distributed.best_paths())
+        # the 4-ring has equal-cost ties (two ways around), and keyed
+        # replacement keeps an arbitrary winner among them — so compare the
+        # order-independent projection, then check each distributed winner is
+        # one of the centralized optimal paths
+        def costs(entries):
+            return {(e.source, e.destination): e.cost for e in entries}
+
+        assert costs(central.best_paths()) == costs(distributed.best_paths())
+        optimal = {(e.source, e.destination, e.path, e.cost) for e in central.paths()}
+        for entry in distributed.best_paths():
+            assert (entry.source, entry.destination, entry.path, entry.cost) in optimal
 
     def test_best_path_lookup(self):
         protocol = PathVectorProtocol(line_topology(3))

@@ -1,0 +1,178 @@
+"""Scenario generation tests + centralized/distributed cross-validation.
+
+The acceptance bar for the scenario generator is that the two execution
+paths the paper relies on — the centralized stratified evaluator and the
+distributed runtime — still compute the same fixpoint on generated
+topologies, across at least the grid, tree, and power-law families.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.dn.engine import DistributedEngine, EngineConfig
+from repro.ndlog.seminaive import evaluate
+from repro.protocols.pathvector import path_vector_program
+from repro.scenarios import (
+    POLICY_KINDS,
+    bfs_customer_provider,
+    cost_churn_schedule,
+    generate_scenario,
+    generate_suite,
+    link_churn_schedule,
+    scenario_families,
+    scenario_policies,
+)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("family", scenario_families())
+    def test_families_generate_connected_topologies(self, family):
+        scenario = generate_scenario(family, size=24, seed=3)
+        graph = scenario.topology.to_networkx().to_undirected()
+        assert scenario.node_count >= 24
+        assert nx.is_connected(graph)
+
+    @pytest.mark.parametrize("family", ["tree", "power_law", "waxman"])
+    def test_generation_is_deterministic(self, family):
+        a = generate_scenario(family, size=30, seed=11)
+        b = generate_scenario(family, size=30, seed=11)
+        assert a.topology.link_facts() == b.topology.link_facts()
+        c = generate_scenario(family, size=30, seed=12)
+        assert a.topology.link_facts() != c.topology.link_facts()
+
+    def test_scales_to_hundreds_of_nodes(self):
+        scenario = generate_scenario("power_law", size=200, seed=1)
+        assert scenario.node_count == 200
+        assert nx.is_connected(scenario.topology.to_networkx().to_undirected())
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario family"):
+            generate_scenario("moebius", size=10)
+
+    def test_suite_covers_all_families(self):
+        suite = generate_suite(size=12, seed=5)
+        assert sorted(s.family for s in suite) == scenario_families()
+
+
+class TestChurn:
+    def test_churn_schedule_references_existing_links(self):
+        scenario = generate_scenario("waxman", size=30, seed=2, churn_events=8)
+        links = {
+            frozenset((link.src, link.dst)) for link in scenario.topology.up_links()
+        }
+        fail_events = [e for e in scenario.churn.events if e.kind == "fail_link"]
+        assert len(fail_events) == 8
+        for event in fail_events:
+            assert frozenset((event.src, event.dst)) in links
+
+    def test_churn_times_are_ordered_and_spaced(self):
+        schedule = link_churn_schedule(
+            generate_scenario("ring", size=10).topology,
+            events=4,
+            start=2.0,
+            spacing=0.25,
+            seed=9,
+        )
+        times = [e.at for e in schedule.events]
+        assert times == sorted(times)
+        assert times[0] == 2.0 and times[-1] == pytest.approx(2.75)
+
+    def test_restore_delay_pairs_failures_with_restores(self):
+        scenario = generate_scenario(
+            "grid", size=16, seed=4, churn_events=3, churn_restore_delay=1.5
+        )
+        kinds = [e.kind for e in scenario.churn.events]
+        assert kinds.count("fail_link") == 3
+        assert kinds.count("restore_link") == 3
+
+    def test_cost_churn_schedule(self):
+        schedule = cost_churn_schedule(
+            generate_scenario("tree", size=20).topology, events=5, seed=1
+        )
+        assert len(schedule.events) == 5
+        assert all(e.kind == "set_cost" for e in schedule.events)
+
+    def test_churn_applies_to_engine(self):
+        scenario = generate_scenario("tree", size=12, seed=6, churn_events=2)
+        engine = DistributedEngine(path_vector_program(), scenario.topology)
+        engine.seed_facts()
+        scenario.churn.apply_to_engine(engine)
+        trace = engine.run()
+        assert trace.quiescent
+        assert any(c.kind == "delete" for c in trace.state_changes)
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("kind", POLICY_KINDS)
+    def test_policy_kinds_generate(self, kind):
+        topology = generate_scenario("power_law", size=12, seed=3).topology
+        table = scenario_policies(kind, topology, seed=3)
+        if kind == "shortest_path":
+            assert not table.import_rules and not table.export_rules
+        else:
+            assert table.import_rules
+
+    def test_bfs_customer_provider_covers_all_non_root_nodes(self):
+        topology = generate_scenario("waxman", size=20, seed=8).topology
+        pairs = bfs_customer_provider(topology)
+        customers = {customer for customer, _ in pairs}
+        assert len(customers) == topology.node_count - 1
+
+    def test_policy_scenario_emits_facts(self):
+        scenario = generate_scenario("tree", size=10, seed=2, policy="random_pref")
+        facts = scenario.policy_fact_list()
+        assert {name for name, _ in facts} == {"importPref"}
+        assert len(facts) == 10 * 9
+
+
+class TestCrossValidation:
+    """Centralized fixpoint == distributed final state on generated scenarios."""
+
+    FAMILIES = {
+        "grid": dict(size=9, seed=1),
+        "tree": dict(size=14, seed=2),
+        "power_law": dict(size=10, seed=3),
+    }
+
+    @pytest.mark.parametrize("family", list(FAMILIES))
+    def test_distributed_matches_centralized(self, family):
+        scenario = generate_scenario(family, **self.FAMILIES[family])
+        program = path_vector_program()
+        engine = DistributedEngine(program, scenario.topology)
+        trace = engine.run()
+        assert trace.quiescent
+        central = evaluate(program, scenario.link_facts())
+        # the full path relation and the best costs must agree exactly; for
+        # bestPath only the (source, destination, cost) projection is
+        # execution-order independent — keyed replacement picks an arbitrary
+        # winner among equal-cost paths (grids are full of ties)
+        assert set(engine.rows("path")) == set(central.rows("path"))
+        assert set(engine.rows("bestPathCost")) == set(central.rows("bestPathCost"))
+
+        def project(rows):
+            return {(r[0], r[1], r[3]) for r in rows}
+
+        assert project(engine.rows("bestPath")) == project(central.rows("bestPath"))
+
+    @pytest.mark.parametrize("family", list(FAMILIES))
+    def test_indexed_matches_naive_on_scenarios(self, family):
+        scenario = generate_scenario(family, **self.FAMILIES[family])
+        program = path_vector_program()
+        indexed = evaluate(program, scenario.link_facts(), use_indexes=True)
+        naive = evaluate(program, scenario.link_facts(), use_indexes=False)
+        assert indexed.snapshot() == naive.snapshot()
+
+    def test_batched_engine_matches_per_tuple_engine(self):
+        scenario = generate_scenario("grid", size=9, seed=4)
+        program = path_vector_program()
+        batched = DistributedEngine(
+            program, scenario.topology, config=EngineConfig(batch_deltas=True)
+        )
+        batched.run()
+        per_tuple = DistributedEngine(
+            program,
+            generate_scenario("grid", size=9, seed=4).topology,
+            config=EngineConfig(batch_deltas=False),
+        )
+        per_tuple.run()
+        assert batched.global_snapshot() == per_tuple.global_snapshot()

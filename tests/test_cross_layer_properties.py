@@ -15,7 +15,6 @@ from repro.metarouting import (
     LabeledGraph,
     add_algebra,
     check_absorption,
-    check_all_axioms,
     check_maximality,
     compute_routes,
     hop_count_algebra,
@@ -24,7 +23,6 @@ from repro.metarouting import (
     widest_path_algebra,
 )
 from repro.protocols.distancevector import DistanceVectorSimulator
-from repro.workloads.topologies import labeled_edges, random_topology
 
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,5 @@
 """End-to-end integration tests spanning the whole FVN pipeline."""
 
-import pytest
 
 from repro.bgp import (
     ComponentBGPSimulator,
@@ -24,7 +23,7 @@ from repro.metarouting import (
 )
 from repro.ndlog.seminaive import evaluate
 from repro.protocols import PathVectorProtocol, path_vector_program
-from repro.workloads import labeled_edges, random_topology, ring_topology, to_edge_list
+from repro.workloads import labeled_edges, random_topology, ring_topology
 
 
 class TestFullPipeline:
