@@ -1,0 +1,81 @@
+"""cProfile harness for the E4 power-law-50 convergence benchmark.
+
+Runs the generated policy path-vector program on the 50-node power-law
+scenario under the default engine configuration (compiled + batched +
+indexed) and writes the top-20 functions by cumulative and by internal time.
+CI uploads the output as a workflow artifact so per-PR profiles can be
+diffed without re-running anything locally.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_e4.py [--output profile_e4.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import time
+
+
+def run_e4() -> dict:
+    from repro.bgp.generator import policy_path_vector_program
+    from repro.dn.engine import DistributedEngine, EngineConfig
+    from repro.scenarios import generate_scenario
+
+    scenario = generate_scenario("power_law", size=50, seed=7, policy="shortest_path")
+    engine = DistributedEngine(
+        policy_path_vector_program(),
+        scenario.topology,
+        config=EngineConfig(max_events=10_000_000),
+    )
+    trace = engine.run(extra_facts=scenario.policy_fact_list())
+    return {
+        "routes": len(engine.rows("bestRoute")),
+        "messages": trace.message_count,
+        "quiescent": trace.quiescent,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default="profile_e4.txt",
+        help="file the profile report is written to (default: profile_e4.txt)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20, help="functions per ranking (default: 20)"
+    )
+    args = parser.parse_args()
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    outcome = run_e4()
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    buffer = io.StringIO()
+    buffer.write(
+        "E4 power_law-50 convergence profile "
+        f"(wall {elapsed:.2f}s under profiler; {outcome['routes']} routes, "
+        f"{outcome['messages']} messages, quiescent={outcome['quiescent']})\n\n"
+    )
+    stats = pstats.Stats(profiler, stream=buffer)
+    buffer.write(f"== top {args.top} by cumulative time ==\n")
+    stats.sort_stats("cumulative").print_stats(args.top)
+    buffer.write(f"\n== top {args.top} by internal time ==\n")
+    stats.sort_stats("tottime").print_stats(args.top)
+
+    report = buffer.getvalue()
+    with open(args.output, "w") as handle:
+        handle.write(report)
+    print(report)
+    print(f"profile written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -104,9 +104,12 @@ def test_bench_spvp_delayed_convergence(benchmark, experiment_report):
     assert conflicted["mean_activations"] >= free["mean_activations"]
 
 
-def _run_scenario_engine(scenario, *, batch_deltas=True, use_indexes=True):
+def _run_scenario_engine(scenario, *, batch_deltas=True, use_indexes=True, compile_rules=True):
     config = EngineConfig(
-        batch_deltas=batch_deltas, use_indexes=use_indexes, max_events=10_000_000
+        batch_deltas=batch_deltas,
+        use_indexes=use_indexes,
+        compile_rules=compile_rules,
+        max_events=10_000_000,
     )
     engine = DistributedEngine(policy_path_vector_program(), scenario.topology, config=config)
     trace = engine.run(extra_facts=scenario.policy_fact_list())
@@ -115,7 +118,7 @@ def _run_scenario_engine(scenario, *, batch_deltas=True, use_indexes=True):
 
 def test_bench_generated_policy_convergence_power_law50(benchmark, experiment_report):
     """The generated policy path-vector program converging on a generated
-    50-node power-law topology (batched + indexed engine)."""
+    50-node power-law topology (compiled + batched + indexed engine)."""
 
     scenario = generate_scenario("power_law", size=50, seed=7, policy="shortest_path")
     engine, trace = benchmark.pedantic(
@@ -136,8 +139,10 @@ def test_bench_generated_policy_convergence_power_law50(benchmark, experiment_re
 
 
 def test_bench_batched_indexed_vs_pre_pr_engine_tree50(benchmark, experiment_report):
-    """Before/after on a generated 50-node tree: the batched + indexed
-    engine against the pre-PR per-tuple scan-join execution path."""
+    """Before/after on a generated 50-node tree: the compiled + batched +
+    indexed engine against the interpreted per-tuple scan-join execution
+    path (the pre-PR-1 engine), plus the compiled-vs-interpreted contrast
+    with batching and indexes held fixed."""
 
     scenario = generate_scenario("tree", size=50, seed=7, policy="shortest_path")
 
@@ -150,25 +155,41 @@ def test_bench_batched_indexed_vs_pre_pr_engine_tree50(benchmark, experiment_rep
             new_engine, new_trace = _run_scenario_engine(scenario)
             new_s = min(new_s, time.perf_counter() - start)
         start = time.perf_counter()
+        interp_engine, interp_trace = _run_scenario_engine(scenario, compile_rules=False)
+        interp_s = time.perf_counter() - start
+        start = time.perf_counter()
         old_engine, old_trace = _run_scenario_engine(
-            scenario, batch_deltas=False, use_indexes=False
+            scenario, batch_deltas=False, use_indexes=False, compile_rules=False
         )
         old_s = time.perf_counter() - start
-        return new_engine, new_trace, new_s, old_engine, old_trace, old_s
+        return (
+            new_engine, new_trace, new_s,
+            interp_engine, interp_trace, interp_s,
+            old_engine, old_trace, old_s,
+        )
 
-    new_engine, new_trace, new_s, old_engine, old_trace, old_s = benchmark.pedantic(
-        compare, rounds=1, iterations=1
-    )
-    assert new_trace.quiescent and old_trace.quiescent
+    (
+        new_engine, new_trace, new_s,
+        interp_engine, interp_trace, interp_s,
+        old_engine, old_trace, old_s,
+    ) = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert new_trace.quiescent and interp_trace.quiescent and old_trace.quiescent
     assert len(new_engine.rows("bestRoute")) == len(old_engine.rows("bestRoute"))
+    assert new_engine.global_snapshot() == interp_engine.global_snapshot()
+    compile_speedup = interp_s / new_s
     speedup = old_s / new_s
     rows = [
-        ["batched + indexed", f"{new_s:.2f}s", new_trace.message_count],
+        ["compiled + batched + indexed", f"{new_s:.2f}s", new_trace.message_count],
+        ["interpreted + batched + indexed", f"{interp_s:.2f}s", interp_trace.message_count],
         ["pre-PR per-tuple scan-join", f"{old_s:.2f}s", old_trace.message_count],
     ]
     experiment_report(
         "E4",
-        [f"tree-50 engine comparison ({speedup:.1f}x speedup)"]
+        [
+            f"tree-50 engine comparison ({compile_speedup:.1f}x from compilation, "
+            f"{speedup:.1f}x total)"
+        ]
         + render_table(["engine", "wall time", "messages"], rows).splitlines(),
     )
-    assert speedup >= 1.5
+    assert compile_speedup >= 1.5
+    assert speedup >= 3.0

@@ -20,8 +20,16 @@ P2 / declarative-networking execution model:
    tuple), so route recomputation (``bestRoute``) happens exactly as in the
    paper's BGP decomposition but without per-tuple recomputation overhead.
 
+Per-program execution state is built once at load time and cached for the
+whole run: the localized program is compiled into
+:class:`~repro.ndlog.plan.CompiledRule` join plans shared by every node
+(``EngineConfig(compile_rules=True)``, the default), and the
+predicate→triggered-rules map (plus its per-delta plain/aggregate split) is
+memoized instead of being rebuilt on every delivery round.
+
 ``EngineConfig(batch_deltas=False)`` restores the original per-tuple
-pipelined firing for comparison experiments.
+pipelined firing and ``compile_rules=False`` the AST-interpreting rule
+evaluation for comparison experiments and differential testing.
 
 The engine records a :class:`~repro.dn.trace.Trace` for convergence and
 message accounting, and supports runtime topology dynamics (link failure,
@@ -66,6 +74,9 @@ class EngineConfig:
     #: Probe per-predicate hash indexes during rule joins (False restores
     #: the original scan-join behaviour).
     use_indexes: bool = True
+    #: Compile the localized program into cached join plans at load time
+    #: (False restores the AST-interpreting evaluation path).
+    compile_rules: bool = True
 
 
 class DistributedEngine:
@@ -87,14 +98,23 @@ class DistributedEngine:
         self.topology = topology
         self.config = config or EngineConfig()
         self.registry = registry or builtin_registry()
-        self.rule_engine = RuleEngine(self.registry, use_indexes=self.config.use_indexes)
+        self.rule_engine = RuleEngine(
+            self.registry,
+            use_indexes=self.config.use_indexes,
+            compile_rules=self.config.compile_rules,
+        )
+        # compile the localized program once; every node shares the plans
+        self.rule_engine.precompile(self.program.rules)
         self.scheduler = EventScheduler()
         self.channel = Channel(topology, seed=self.config.seed)
         self.trace = Trace()
         self.nodes: dict[NodeId, Node] = {
-            node_id: Node(node_id, self.program) for node_id in topology.nodes
+            node_id: Node(node_id, self.program, rule_engine=self.rule_engine)
+            for node_id in topology.nodes
         }
-        # rules indexed by the body predicates that can trigger them
+        # rules indexed by the body predicates that can trigger them, plus a
+        # memo of the per-delta plain/aggregate split (computed once per
+        # distinct delta-predicate set instead of once per delivery round)
         self._triggers: dict[str, list[Rule]] = {}
         self._rule_order: dict[int, int] = {
             id(rule): index for index, rule in enumerate(self.program.rules)
@@ -102,6 +122,9 @@ class DistributedEngine:
         for rule in self.program.rules:
             for predicate in set(rule.body_predicates()):
                 self._triggers.setdefault(predicate, []).append(rule)
+        self._trigger_cache: dict[
+            frozenset[str], tuple[tuple[Rule, ...], tuple[Rule, ...]]
+        ] = {}
         self._base_facts: list[tuple[NodeId, str, tuple]] = []
         self._seeded = False
         # per-node queues of tuples awaiting batched delta processing
@@ -228,12 +251,10 @@ class DistributedEngine:
         """Insert one tuple into a node's store, recording the change."""
 
         now = self.scheduler.now
-        table = node.db.table(predicate)
-        existed_same = values in table
-        changed = node.insert(predicate, values, now)
+        changed, table = node.upsert(predicate, values, now)
         if not changed:
             return False
-        kind = "replace" if not existed_same and len(table) and table.keys else "insert"
+        kind = "replace" if table.keys else "insert"
         self.trace.record_change(now, node.id, predicate, values, kind)
         return True
 
@@ -241,15 +262,20 @@ class DistributedEngine:
         """Route derived tuples: local heads re-enter the node's delta queue
         (or recurse in per-tuple mode), remote heads become messages."""
 
+        node_id = node.id
+        batch = self.config.batch_deltas
+        pending = self._pending[node_id] if batch else None
         for firing in firings:
-            destination = firing.location_value
-            if destination is None or destination == node.id:
-                if self.config.batch_deltas:
-                    self._pending[node.id].append((firing.predicate, firing.values))
+            values = firing.values
+            location = firing.location
+            destination = values[location] if location is not None else None
+            if destination is None or destination == node_id:
+                if batch:
+                    pending.append((firing.predicate, values))
                 else:
-                    self._handle_insert(node.id, firing.predicate, firing.values)
+                    self._handle_insert(node_id, firing.predicate, values)
             else:
-                self._send(node.id, destination, firing.predicate, firing.values)
+                self._send(node_id, destination, firing.predicate, values)
 
     def _drain(self, node: Node) -> None:
         """Process a node's pending tuples in batched semi-naive rounds.
@@ -275,26 +301,37 @@ class DistributedEngine:
             # not once per triggered rule
             view = DeltaIndex(delta)
             for rule in plain:
-                node.stats.rule_firings += 1
-                self._dispatch(node, self.rule_engine.fire_rule(rule, node.db, delta=view))
+                self._dispatch(node, node.fire(rule, delta=view))
             # aggregate recomputation is deferred to the end of the batch so
             # large deltas pay for one recomputation instead of one per tuple
             for rule in aggregate:
-                node.stats.rule_firings += 1
-                self._dispatch(node, self.rule_engine.fire_rule(rule, node.db))
+                self._dispatch(node, node.fire(rule))
 
-    def _triggered_rules(self, delta: Mapping[str, list[tuple]]) -> tuple[list[Rule], list[Rule]]:
+    def _triggered_rules(
+        self, delta: Mapping[str, list[tuple]]
+    ) -> tuple[tuple[Rule, ...], tuple[Rule, ...]]:
         """Rules triggered by any delta predicate, deduplicated and split
-        into (non-aggregate, aggregate) in program order."""
+        into (non-aggregate, aggregate) in program order.
 
-        seen: dict[int, Rule] = {}
-        for predicate in delta:
-            for rule in self._triggers.get(predicate, ()):
-                seen.setdefault(id(rule), rule)
-        ordered = sorted(seen.values(), key=lambda r: self._rule_order[id(r)])
-        plain = [r for r in ordered if not r.head.has_aggregate]
-        aggregate = [r for r in ordered if r.head.has_aggregate]
-        return plain, aggregate
+        Memoized per delta-predicate set: delivery rounds repeat the same
+        handful of predicate combinations, so the dedup/sort happens once
+        per combination for the whole run instead of once per round.
+        """
+
+        key = frozenset(delta)
+        cached = self._trigger_cache.get(key)
+        if cached is None:
+            seen: dict[int, Rule] = {}
+            for predicate in key:
+                for rule in self._triggers.get(predicate, ()):
+                    seen.setdefault(id(rule), rule)
+            ordered = sorted(seen.values(), key=lambda r: self._rule_order[id(r)])
+            cached = (
+                tuple(r for r in ordered if not r.head.has_aggregate),
+                tuple(r for r in ordered if r.head.has_aggregate),
+            )
+            self._trigger_cache[key] = cached
+        return cached
 
     def _apply_and_fire(self, node: Node, predicate: str, values: tuple) -> None:
         """The original per-tuple pipelined firing (batch_deltas=False)."""
@@ -303,11 +340,10 @@ class DistributedEngine:
             return
         delta = {predicate: [values]}
         for rule in self._triggers.get(predicate, ()):
-            node.stats.rule_firings += 1
             if rule.head.has_aggregate:
-                firings = self.rule_engine.fire_rule(rule, node.db)
+                firings = node.fire(rule)
             else:
-                firings = self.rule_engine.fire_rule(rule, node.db, delta=delta)
+                firings = node.fire(rule, delta=delta)
             self._dispatch(node, firings)
 
     # ------------------------------------------------------------------

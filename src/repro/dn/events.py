@@ -9,18 +9,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    sequence: int
-    event: "Event" = field(compare=False)
+#: Queue entries are plain ``(time, sequence, event)`` tuples: the
+#: (time, sequence) prefix is unique, so heap comparisons never reach the
+#: event and stay on the C tuple fast path.
+_QueueEntry = tuple[float, int, "Event"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Event:
     """A scheduled callback with a human-readable kind tag."""
 
@@ -44,7 +43,7 @@ class EventScheduler:
         if delay < 0:
             raise ValueError("cannot schedule events in the past")
         at = self.now + delay
-        heapq.heappush(self._queue, _QueueEntry(at, next(self._counter), event))
+        heapq.heappush(self._queue, (at, next(self._counter), event))
         return at
 
     def schedule_at(self, time: float, event: Event) -> float:
@@ -52,7 +51,7 @@ class EventScheduler:
 
         if time < self.now:
             raise ValueError("cannot schedule events in the past")
-        heapq.heappush(self._queue, _QueueEntry(time, next(self._counter), event))
+        heapq.heappush(self._queue, (time, next(self._counter), event))
         return time
 
     @property
@@ -64,7 +63,7 @@ class EventScheduler:
         return not self._queue
 
     def peek_time(self) -> Optional[float]:
-        return self._queue[0].time if self._queue else None
+        return self._queue[0][0] if self._queue else None
 
     def run(
         self,
@@ -78,14 +77,14 @@ class EventScheduler:
 
         processed = 0
         while self._queue and processed < max_events:
-            if self._queue[0].time > until:
+            if self._queue[0][0] > until:
                 break
-            entry = heapq.heappop(self._queue)
-            self.now = entry.time
-            entry.event.callback()
+            at, _, event = heapq.heappop(self._queue)
+            self.now = at
+            event.callback()
             processed += 1
             self.processed += 1
-        if self._queue and self._queue[0].time > until and until != float("inf"):
+        if self._queue and self._queue[0][0] > until and until != float("inf"):
             self.now = until
         return processed
 
@@ -94,8 +93,8 @@ class EventScheduler:
 
         if not self._queue:
             return False
-        entry = heapq.heappop(self._queue)
-        self.now = entry.time
-        entry.event.callback()
+        at, _, event = heapq.heappop(self._queue)
+        self.now = at
+        event.callback()
         self.processed += 1
         return True

@@ -2,22 +2,26 @@
 
 Each simulated node owns a :class:`~repro.ndlog.store.Database` holding the
 tuples whose location specifier names that node, plus counters used by the
-experiments (messages sent/received, rule firings).  Rule evaluation itself
-lives in :mod:`repro.dn.engine`; the node is deliberately a passive state
-container so it is easy to snapshot and compare against the centralized
-evaluator.
+experiments (messages sent/received, rule firings).  Every node also holds a
+reference to the run's shared :class:`~repro.ndlog.seminaive.RuleEngine`, so
+rule firings at a node reuse the compiled join plans of the localized
+program (built once at engine construction) instead of re-analyzing rules
+per delivery.  The node stays a thin state container so it is easy to
+snapshot and compare against the centralized evaluator.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
 
-from ..ndlog.ast import Program
+from ..ndlog.ast import Program, Rule
+from ..ndlog.seminaive import RuleEngine, RuleFiring
 from ..ndlog.store import Database
 from .network import NodeId
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeStats:
     """Counters kept per node."""
 
@@ -32,25 +36,54 @@ class NodeStats:
 class Node:
     """One simulated network node running the NDlog program."""
 
-    def __init__(self, node_id: NodeId, program: Program) -> None:
+    def __init__(
+        self,
+        node_id: NodeId,
+        program: Program,
+        rule_engine: Optional[RuleEngine] = None,
+    ) -> None:
         self.id = node_id
+        self.program = program
         self.db = Database()
         self.stats = NodeStats()
+        # Shared by all nodes of a distributed run: one engine caches the
+        # compiled localized program for the whole network.  Standalone
+        # nodes (tests, tooling) get a private engine on demand.
+        self.rule_engine = rule_engine if rule_engine is not None else RuleEngine()
         for decl in program.materialized.values():
             self.db.declare_from(decl)
+
+    def fire(
+        self,
+        rule: Rule,
+        delta: Optional[Mapping[str, Iterable[tuple]]] = None,
+    ) -> list[RuleFiring]:
+        """Fire one rule against the local database via its cached plan."""
+
+        self.stats.rule_firings += 1
+        return self.rule_engine.fire_rule(rule, self.db, delta=delta)
 
     def insert(self, predicate: str, values: tuple, now: float) -> bool:
         """Insert a tuple into the local database; returns True on change."""
 
+        return self.upsert(predicate, values, now)[0]
+
+    def upsert(self, predicate: str, values: tuple, now: float):
+        """Insert a tuple, returning ``(changed, table)``.
+
+        Single-key-computation variant of :meth:`insert` used by the hot
+        delivery path; the table is returned so the caller can classify the
+        change without another lookup.
+        """
+
         table = self.db.table(predicate)
-        previous = table.current(values)
-        changed = table.insert(values, now)
+        changed, previous = table.upsert(values, now)
         if changed:
             if previous is not None:
                 self.stats.tuples_replaced += 1
             else:
                 self.stats.tuples_inserted += 1
-        return changed
+        return changed, table
 
     def delete(self, predicate: str, values: tuple) -> bool:
         deleted = self.db.delete(predicate, values)

@@ -15,7 +15,7 @@ from typing import Optional
 from .network import NodeId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StateChange:
     """One tuple insertion/replacement/deletion at a node."""
 
@@ -26,7 +26,7 @@ class StateChange:
     kind: str = "insert"  # insert | replace | delete | expire
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageRecord:
     """One tuple shipment between nodes."""
 

@@ -57,6 +57,17 @@ class FunctionRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._functions
 
+    def resolve(self, name: str) -> Optional[Callable]:
+        """The callable registered under ``name``, or ``None``.
+
+        Used by the rule compiler (:mod:`repro.ndlog.plan`) to pre-dispatch
+        function applications at compile time; callers must fall back to
+        :meth:`call` when this returns ``None`` so late registrations keep
+        working.
+        """
+
+        return self._functions.get(name)
+
     def call(self, name: str, args: Sequence[object]) -> object:
         if name not in self._functions:
             raise EvaluationError(f"no interpretation for function {name!r}")
@@ -87,6 +98,11 @@ _ARITHMETIC: dict[str, Callable] = {
     "min": min,
     "max": max,
 }
+
+#: Public view of the default arithmetic interpretations.  The rule compiler
+#: (:mod:`repro.ndlog.plan`) swaps these for their C-level ``operator``
+#: equivalents when a registry still maps the name to the default.
+DEFAULT_ARITHMETIC: Mapping[str, Callable] = _ARITHMETIC
 
 
 def ground_eval(t: Term, registry: FunctionRegistry, bindings: Optional[Mapping[Var, object]] = None) -> object:

@@ -2,9 +2,10 @@
 
 This package implements the intermediary language of the FVN framework
 (paper Section 2.2): an NDlog parser, program AST, built-in functions,
-stratified semi-naive evaluation, the localization rewrite used for
-distributed execution, and tuple stores with primary keys and soft-state
-lifetimes.
+stratified semi-naive evaluation, the rule compiler that turns programs
+into cached join plans (:mod:`repro.ndlog.plan`), the localization rewrite
+used for distributed execution, and tuple stores with primary keys and
+soft-state lifetimes.
 
 Quick use::
 
@@ -31,6 +32,7 @@ from .ast import (
 from .functions import BUILTIN_FUNCTIONS, builtin_registry
 from .localization import LocalizationResult, is_localized, localize_program, localize_rule
 from .parser import ParseError, parse_program, parse_rule, tokenize
+from .plan import CompiledRule, compile_rule, order_body
 from .seminaive import EvaluationStats, Evaluator, RuleEngine, RuleFiring, evaluate
 from .store import Database, StoredTuple, Table
 from .stratification import DependencyGraph, Stratification, stratify
@@ -39,6 +41,7 @@ __all__ = [
     "Aggregate",
     "Assignment",
     "BUILTIN_FUNCTIONS",
+    "CompiledRule",
     "Condition",
     "Database",
     "DependencyGraph",
@@ -61,7 +64,9 @@ __all__ = [
     "aggregate_rows",
     "apply_aggregate",
     "builtin_registry",
+    "compile_rule",
     "evaluate",
+    "order_body",
     "is_localized",
     "localize_program",
     "localize_rule",

@@ -9,9 +9,12 @@ aggregate function.
 
 from __future__ import annotations
 
+import operator
 from typing import Callable, Iterable, Sequence
 
 from .ast import HeadLiteral, NDlogError
+
+_MISSING = object()
 
 
 def _agg_min(values: Sequence) -> object:
@@ -61,24 +64,130 @@ def aggregate_rows(head: HeadLiteral, rows: Iterable[tuple]) -> list[tuple]:
     ``rows`` are tuples matching the head's arity where aggregate positions
     hold the raw (un-aggregated) value of the aggregate variable for one body
     binding.  The result groups rows by the non-aggregate positions and folds
-    each aggregate position over its group.
+    each aggregate position **incrementally** over its group (running
+    min/max/count/sum rather than materialized per-group value lists — the
+    aggregate relations are recomputed over full tables on every batch
+    round, so this fold is on the hot path of both evaluators).
     """
 
     agg_positions = head.aggregates
     if not agg_positions:
         return list(dict.fromkeys(tuple(r) for r in rows))
+    for _, agg in agg_positions:
+        if agg.function not in AGGREGATE_IMPLS:
+            raise NDlogError(f"unknown aggregate function {agg.function!r}")
     group_by = head.group_by_indices
-    groups: dict[tuple, list[tuple]] = {}
+    if len(agg_positions) == 1:
+        return _aggregate_single(head, rows, group_by, *agg_positions[0])
+    # group key → accumulator per aggregate position: [value, count]
+    groups: dict[tuple, list] = {}
     for row in rows:
         key = tuple(row[i] for i in group_by)
-        groups.setdefault(key, []).append(tuple(row))
+        accs = groups.get(key)
+        if accs is None:
+            accs = []
+            for index, agg in agg_positions:
+                function = agg.function
+                if function == "count":
+                    accs.append([None, 1])
+                elif function in ("sum", "avg"):
+                    # 0 + value coerces like builtin sum() (bools become ints)
+                    accs.append([0 + row[index], 1])
+                else:
+                    accs.append([row[index], 1])
+            groups[key] = accs
+            continue
+        for acc, (index, agg) in zip(accs, agg_positions):
+            function = agg.function
+            if function == "min":
+                value = row[index]
+                if value < acc[0]:
+                    acc[0] = value
+            elif function == "max":
+                value = row[index]
+                if value > acc[0]:
+                    acc[0] = value
+            elif function != "count":  # sum / avg keep a running sum
+                acc[0] += row[index]
+            acc[1] += 1
     out: list[tuple] = []
-    for key, members in groups.items():
-        result = list(members[0])
-        for index, agg in agg_positions:
-            values = [m[index] for m in members]
-            result[index] = apply_aggregate(agg.function, values)
+    for key, accs in groups.items():
+        result: list = [None] * head.arity
         for position, value in zip(group_by, key):
             result[position] = value
+        for acc, (index, agg) in zip(accs, agg_positions):
+            function = agg.function
+            if function == "count":
+                result[index] = acc[1]
+            elif function == "avg":
+                result[index] = acc[0] / acc[1]
+            else:
+                result[index] = acc[0]
         out.append(tuple(result))
+    return out
+
+
+def _aggregate_single(
+    head: HeadLiteral, rows: Iterable[tuple], group_by: list[int], index: int, agg
+) -> list[tuple]:
+    """Fast path for the (dominant) single-aggregate head shape.
+
+    One dict fold over the rows with a specialized group-key extractor; this
+    is the loop behind every ``min<C>`` route-selection recomputation, so it
+    avoids the generic accumulator machinery entirely.
+    """
+
+    key_fn: Callable[[tuple], object]
+    if not group_by:
+        def key_fn(row):
+            return ()
+    elif len(group_by) == 1:
+        key_fn = operator.itemgetter(group_by[0])  # scalar key, rebuilt below
+    else:
+        key_fn = operator.itemgetter(*group_by)
+    function = agg.function
+    folded: dict = {}
+    get = folded.get
+    if function in ("min", "max"):
+        keep_left = operator.lt if function == "min" else operator.gt
+        for row in rows:
+            key = key_fn(row)
+            value = row[index]
+            current = get(key, _MISSING)
+            if current is _MISSING or keep_left(value, current):
+                folded[key] = value
+    elif function == "count":
+        for row in rows:
+            key = key_fn(row)
+            folded[key] = get(key, 0) + 1
+    elif function == "sum":
+        for row in rows:
+            key = key_fn(row)
+            folded[key] = get(key, 0) + row[index]
+    else:  # avg
+        for row in rows:
+            key = key_fn(row)
+            acc = get(key)
+            if acc is None:
+                folded[key] = [0 + row[index], 1]
+            else:
+                acc[0] += row[index]
+                acc[1] += 1
+        folded = {key: acc[0] / acc[1] for key, acc in folded.items()}
+    arity = head.arity
+    out: list[tuple] = []
+    if len(group_by) == 1:
+        g0 = group_by[0]
+        for key, value in folded.items():
+            result: list = [None] * arity
+            result[g0] = key
+            result[index] = value
+            out.append(tuple(result))
+    else:
+        for key, value in folded.items():
+            result = [None] * arity
+            for position, key_value in zip(group_by, key):
+                result[position] = key_value
+            result[index] = value
+            out.append(tuple(result))
     return out

@@ -13,6 +13,12 @@ NDlog (paper Section 2.2) is Datalog extended with:
 Terms reuse the logic substrate's :class:`~repro.logic.terms.Var`,
 :class:`~repro.logic.terms.Const` and :class:`~repro.logic.terms.Func`, which
 keeps the NDlog→logic translation (arc 4 of Figure 1) a structural walk.
+
+The AST dataclasses are declared with ``slots`` — evaluation touches
+literals and facts constantly, and large generated programs/databases hold
+many of them — and the parser interns predicate-name strings so the
+dictionary lookups keyed by predicate throughout the evaluators compare
+interned pointers.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ class NDlogError(Exception):
 AGGREGATE_FUNCTIONS = ("min", "max", "count", "sum", "avg")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Aggregate:
     """An aggregate head argument such as ``min<C>``."""
 
@@ -50,7 +56,7 @@ class Aggregate:
 HeadArg = Union[Term, Aggregate]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Literal:
     """A (possibly negated, possibly located) predicate occurrence.
 
@@ -101,7 +107,7 @@ class Literal:
         return f"!{body}" if self.negated else body
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeadLiteral:
     """A rule head: like a literal but allowing aggregate arguments."""
 
@@ -151,7 +157,7 @@ class HeadLiteral:
         return f"{self.predicate}({','.join(rendered)})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Assignment:
     """A body assignment ``Var = expression``."""
 
@@ -165,7 +171,7 @@ class Assignment:
         return f"{self.variable} = {self.expression}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Condition:
     """A body comparison such as ``C1 < C2`` or ``f_inPath(P2,S) = false``."""
 
@@ -189,7 +195,7 @@ class Condition:
 BodyItem = Union[Literal, Assignment, Condition]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Rule:
     """An NDlog rule ``name head :- body.``"""
 
@@ -283,7 +289,7 @@ class Rule:
         return f"{self.name} {self.head} :- {body}."
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fact:
     """A ground fact ``predicate(@loc, v1, ...)`` given with the program."""
 

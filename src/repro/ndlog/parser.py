@@ -25,6 +25,7 @@ optional.  Facts are clauses without a ``:-``.
 from __future__ import annotations
 
 import re
+import sys
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -140,9 +141,12 @@ def _make_identifier_term(name: str) -> Term:
         return Const(False)
     if name == "infinity":
         return Const(float("inf"))
+    # Identifiers are interned: variable and constant names recur across
+    # every rule of a program, and interning keeps dict/set operations on
+    # them at pointer-comparison speed.
     if name[0].isupper() or name[0] == "_":
-        return Var(name)
-    return Const(name)
+        return Var(sys.intern(name))
+    return Const(sys.intern(name))
 
 
 class Parser:
@@ -226,7 +230,7 @@ class Parser:
         self.stream.expect(")")
         self.stream.expect(")")
         self.stream.expect(".")
-        return MaterializeDecl(pred_tok.value, lifetime, size, tuple(keys))
+        return MaterializeDecl(sys.intern(pred_tok.value), lifetime, size, tuple(keys))
 
     def _parse_number_or_infinity(self) -> float:
         tok = self.stream.next()
@@ -256,7 +260,7 @@ class Parser:
             if self.stream.at(","):
                 self.stream.next()
         self.stream.expect(")")
-        return HeadLiteral(pred.value, tuple(args), location)
+        return HeadLiteral(sys.intern(pred.value), tuple(args), location)
 
     def _parse_head_arg(self) -> HeadArg:
         tok = self.stream.peek()
@@ -345,7 +349,7 @@ class Parser:
             if self.stream.at(","):
                 self.stream.next()
         self.stream.expect(")")
-        return Literal(pred.value, tuple(args), location)
+        return Literal(sys.intern(pred.value), tuple(args), location)
 
     # ------------------------------------------------------------------
     # Expressions

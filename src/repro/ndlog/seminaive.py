@@ -1,4 +1,4 @@
-"""Centralized NDlog evaluation (naive joins, semi-naive fixpoint).
+"""Centralized NDlog evaluation (compiled or interpreted joins, semi-naive fixpoint).
 
 This is the reference evaluator: it computes the stratified model of an
 NDlog program over a single database, ignoring distribution.  It is used to
@@ -12,6 +12,18 @@ Rules are evaluated by joining body literals left-to-right (after a greedy
 reordering that keeps assignments and conditions evaluable), with semi-naive
 iteration inside each stratum so recursive programs such as the path-vector
 protocol do not recompute the full join every round.
+
+Two execution paths share those semantics:
+
+* the **compiled path** (default, ``compile_rules=True``) compiles each rule
+  once into a :class:`~repro.ndlog.plan.CompiledRule` join plan — fixed body
+  order, flat binding arrays, statically resolved index probe positions, and
+  pre-dispatched comparison/function callables (see :mod:`repro.ndlog.plan`);
+* the **interpreted path** (``compile_rules=False``) walks the rule AST per
+  pass; it is kept as the reference for differential/property testing.
+
+Orthogonally, ``use_indexes`` selects between hash-index probing and full
+scans for body literal matching on either path.
 """
 
 from __future__ import annotations
@@ -33,6 +45,13 @@ from .ast import (
     Rule,
 )
 from .functions import builtin_registry
+from .plan import (  # noqa: F401  (re-exported: public API of this module)
+    CompiledRule,
+    RuleFiring,
+    comparison_fn,
+    compile_rule,
+    order_body,
+)
 from .store import Database
 from .stratification import Stratification, stratify
 
@@ -41,66 +60,9 @@ Bindings = dict[Var, object]
 
 
 def _compare(op: str, left: object, right: object) -> bool:
-    if op == "=":
-        return left == right
-    if op == "/=":
-        return left != right
-    try:
-        if op == "<":
-            return left < right  # type: ignore[operator]
-        if op == "<=":
-            return left <= right  # type: ignore[operator]
-        if op == ">":
-            return left > right  # type: ignore[operator]
-        if op == ">=":
-            return left >= right  # type: ignore[operator]
-    except TypeError as exc:
-        raise EvaluationError(
-            f"cannot compare {left!r} {op} {right!r}: operands of types "
-            f"{type(left).__name__} and {type(right).__name__} are not ordered"
-        ) from exc
-    raise NDlogError(f"unknown comparison operator {op!r}")
+    """Interpreted-path comparison (delegates to the pre-dispatched callables)."""
 
-
-def order_body(rule: Rule) -> list[BodyItem]:
-    """Greedy safe ordering of body items.
-
-    Positive literals come in source order; each assignment/condition/negated
-    literal is placed as soon as its variables are bound.  Raises when the
-    rule cannot be ordered (should have been caught by ``check_safety``).
-    """
-
-    pending: list[BodyItem] = list(rule.body)
-    ordered: list[BodyItem] = []
-    bound: set[Var] = set()
-    while pending:
-        progressed = False
-        for item in list(pending):
-            if isinstance(item, Literal) and not item.negated:
-                ordered.append(item)
-                pending.remove(item)
-                bound |= item.variables()
-                progressed = True
-                break
-            if isinstance(item, Assignment) and item.expression.free_vars() <= bound:
-                ordered.append(item)
-                pending.remove(item)
-                bound.add(item.variable)
-                progressed = True
-                break
-            if isinstance(item, (Condition,)) and item.variables() <= bound:
-                ordered.append(item)
-                pending.remove(item)
-                progressed = True
-                break
-            if isinstance(item, Literal) and item.negated and item.variables() <= bound:
-                ordered.append(item)
-                pending.remove(item)
-                progressed = True
-                break
-        if not progressed:
-            raise NDlogError(f"rule {rule.name}: cannot order body items safely")
-    return ordered
+    return comparison_fn(op)(left, right)
 
 
 def match_literal(
@@ -166,24 +128,15 @@ class DeltaIndex:
         return groups.get(tuple(values), ())
 
 
-@dataclass
-class RuleFiring:
-    """One derived head tuple together with provenance information."""
-
-    rule: str
-    predicate: str
-    values: tuple
-    location: Optional[int]
-
-    @property
-    def location_value(self) -> Optional[object]:
-        if self.location is None:
-            return None
-        return self.values[self.location]
-
-
 class RuleEngine:
     """Evaluates individual rules against a database.
+
+    With ``compile_rules`` (the default) each rule is compiled once into a
+    :class:`~repro.ndlog.plan.CompiledRule` join plan and cached for the
+    lifetime of the engine; ``compile_rules=False`` keeps the original AST
+    interpreter (the reference implementation for differential testing).
+    Compilation snapshots the function registry — register custom functions
+    before evaluating (the interpreted path late-binds every call).
 
     With ``use_indexes`` (the default) body literals are matched by probing
     per-predicate hash indexes on the argument positions already bound at
@@ -198,19 +151,51 @@ class RuleEngine:
         registry: Optional[FunctionRegistry] = None,
         *,
         use_indexes: bool = True,
+        compile_rules: bool = True,
     ) -> None:
         self.registry = registry or builtin_registry()
         self.use_indexes = use_indexes
-        self._order_cache: dict[int, list[BodyItem]] = {}
+        self.compile_rules = compile_rules
+        # Both caches key by rule identity and retain the rule object so a
+        # recycled id() can never alias a stale entry.
+        self._order_cache: dict[int, tuple[Rule, list[BodyItem]]] = {}
+        self._plan_cache: dict[int, CompiledRule] = {}
+
+    # ------------------------------------------------------------------
+    # Per-program compiled state
+    # ------------------------------------------------------------------
+    def precompile(self, rules: Iterable[Rule]) -> None:
+        """Build the per-program execution state up front.
+
+        Compiles every rule (or computes its body order on the interpreted
+        path) at program-load time so no analysis happens on the hot
+        evaluation path.
+        """
+
+        for rule in rules:
+            if self.compile_rules:
+                self.plan_for(rule)
+            else:
+                self._ordered_body(rule)
+
+    def plan_for(self, rule: Rule) -> CompiledRule:
+        """The cached compiled join plan for ``rule`` (compiled on first use)."""
+
+        compiled = self._plan_cache.get(id(rule))
+        if compiled is None or compiled.rule is not rule:
+            compiled = compile_rule(rule, self.registry, use_indexes=self.use_indexes)
+            self._plan_cache[id(rule)] = compiled
+        return compiled
 
     # ------------------------------------------------------------------
     # Body solving
     # ------------------------------------------------------------------
     def _ordered_body(self, rule: Rule) -> list[BodyItem]:
-        key = id(rule)
-        if key not in self._order_cache:
-            self._order_cache[key] = order_body(rule)
-        return self._order_cache[key]
+        entry = self._order_cache.get(id(rule))
+        if entry is None or entry[0] is not rule:
+            entry = (rule, order_body(rule))
+            self._order_cache[id(rule)] = entry
+        return entry[1]
 
     def solve_body(
         self,
@@ -362,11 +347,18 @@ class RuleEngine:
     ) -> list[RuleFiring]:
         """Evaluate a rule, returning the derived head tuples.
 
-        Aggregate rules are recomputed over the full body (aggregation is not
-        meaningfully incremental for ``min``/``max`` under insert-only
-        deltas), grouping per the head's non-aggregate attributes.
+        Dispatches to the rule's cached compiled plan when ``compile_rules``
+        is set, otherwise interprets the AST.  Aggregate rules are recomputed
+        over the full body (aggregation is not meaningfully incremental for
+        ``min``/``max`` under insert-only deltas), grouping per the head's
+        non-aggregate attributes.
         """
 
+        if self.compile_rules:
+            view = None
+            if delta is not None:
+                view = delta if isinstance(delta, DeltaIndex) else DeltaIndex(delta)
+            return self.plan_for(rule).fire(db, view)
         head = rule.head
         raw_rows: list[tuple] = []
         effective_delta = None if head.has_aggregate else delta
@@ -412,11 +404,17 @@ class Evaluator:
         *,
         registry: Optional[FunctionRegistry] = None,
         use_indexes: bool = True,
+        compile_rules: bool = True,
     ) -> None:
         program.check()
         self.program = program
-        self.engine = RuleEngine(registry, use_indexes=use_indexes)
+        self.engine = RuleEngine(
+            registry, use_indexes=use_indexes, compile_rules=compile_rules
+        )
         self.stratification: Stratification = stratify(program)
+        # Per-program execution state (join plans / body orders) is built
+        # once at load time, not rebuilt per semi-naive pass.
+        self.engine.precompile(program.rules)
 
     def _prepare_database(self, extra_facts: Iterable[Fact | tuple]) -> Database:
         db = Database()
@@ -488,8 +486,14 @@ def evaluate(
     *,
     registry: Optional[FunctionRegistry] = None,
     use_indexes: bool = True,
+    compile_rules: bool = True,
 ) -> Database:
     """Convenience wrapper: evaluate and return just the database."""
 
-    db, _ = Evaluator(program, registry=registry, use_indexes=use_indexes).run(extra_facts)
+    db, _ = Evaluator(
+        program,
+        registry=registry,
+        use_indexes=use_indexes,
+        compile_rules=compile_rules,
+    ).run(extra_facts)
     return db

@@ -20,14 +20,33 @@ distributed runtime.
 
 from __future__ import annotations
 
+import operator
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from .ast import MaterializeDecl
 
 
-@dataclass(frozen=True)
+_INF = float("inf")
+
+
+def _make_key_getter(keys: tuple[int, ...]) -> Callable[[Sequence[object]], tuple]:
+    """A specialized primary-key extractor for ``keys``.
+
+    ``operator.itemgetter`` keeps multi-attribute keys on the C fast path;
+    single-attribute keys are wrapped so the result is always a tuple.
+    """
+
+    if not keys:
+        return tuple
+    if len(keys) == 1:
+        k0 = keys[0]
+        return lambda values: (values[k0],)
+    return operator.itemgetter(*keys)
+
+
+@dataclass(frozen=True, slots=True)
 class StoredTuple:
     """A tuple plus its bookkeeping (insertion time, expiry time)."""
 
@@ -53,6 +72,7 @@ class Table:
         self.predicate = predicate
         #: 0-based key attribute positions (empty means the whole tuple is the key)
         self.keys = tuple(keys)
+        self._key_getter = _make_key_getter(self.keys)
         self.lifetime = lifetime
         self.max_size = max_size
         self._rows: "OrderedDict[tuple, StoredTuple]" = OrderedDict()
@@ -74,9 +94,7 @@ class Table:
     # Keys
     # ------------------------------------------------------------------
     def key_of(self, values: Sequence[object]) -> tuple:
-        if not self.keys:
-            return tuple(values)
-        return tuple(values[k] for k in self.keys)
+        return self._key_getter(values)
 
     @property
     def is_soft_state(self) -> bool:
@@ -94,23 +112,39 @@ class Table:
         reports ``False`` so semi-naive evaluation does not re-fire rules.
         """
 
+        return self.upsert(values, now)[0]
+
+    def upsert(
+        self, values: Sequence[object], now: float = 0.0
+    ) -> tuple[bool, Optional[tuple]]:
+        """Insert or refresh a tuple, reporting what it displaced.
+
+        Returns ``(changed, previous)`` where ``previous`` is the row that
+        was stored under the same key before the call (``None`` for a brand
+        new key).  Computes the primary key once, which is why the runtime's
+        insert path uses this instead of ``current`` + ``insert``.
+        """
+
         row = tuple(values)
-        key = self.key_of(row)
-        expires = now + self.lifetime if self.is_soft_state else float("inf")
+        key = self._key_getter(row)
+        lifetime = self.lifetime
+        expires = now + lifetime if lifetime != _INF else _INF
         existing = self._rows.get(key)
         self._rows[key] = StoredTuple(row, now, expires)
-        if existing is not None and existing.values == row:
-            return False
-        if existing is not None:
-            self._index_remove(key, existing.values)
+        if existing is None:
+            self._index_add(key, row)
+            if len(self._rows) > self.max_size:
+                # FIFO eviction of the oldest entry that is not the new one
+                oldest_key = next(iter(self._rows))
+                if oldest_key != key:
+                    evicted = self._rows.pop(oldest_key)
+                    self._index_remove(oldest_key, evicted.values)
+            return True, None
+        if existing.values == row:
+            return False, existing.values
+        self._index_remove(key, existing.values)
         self._index_add(key, row)
-        if existing is None and len(self._rows) > self.max_size:
-            # FIFO eviction of the oldest entry that is not the new one
-            oldest_key = next(iter(self._rows))
-            if oldest_key != key:
-                evicted = self._rows.pop(oldest_key)
-                self._index_remove(oldest_key, evicted.values)
-        return True
+        return True, existing.values
 
     def current(self, values: Sequence[object]) -> Optional[tuple]:
         """The row currently stored under the key of ``values``, if any."""
@@ -208,6 +242,20 @@ class Table:
         bucket = self.index_on(positions).get(tuple(values))
         return list(bucket.values()) if bucket else []
 
+    def probe_iter(
+        self, positions: tuple[int, ...], values: tuple
+    ) -> Iterable[tuple]:
+        """Zero-copy variant of :meth:`probe` for compiled join plans.
+
+        Returns a live view of the matching index bucket; callers must not
+        mutate the table while iterating (the evaluators collect all firings
+        before inserting, so the hot join path satisfies this).  Raises
+        ``TypeError`` for unhashable probe values like :meth:`probe`.
+        """
+
+        bucket = self.index_on(positions).get(values)
+        return bucket.values() if bucket else ()
+
     @property
     def index_count(self) -> int:
         return len(self._indexes)
@@ -290,6 +338,16 @@ class Database:
         if predicate not in self._tables:
             return []
         return self._tables[predicate].probe(positions, values)
+
+    def probe_iter(
+        self, predicate: str, positions: tuple[int, ...], values: tuple
+    ) -> Iterable[tuple]:
+        """Zero-copy indexed lookup (see :meth:`Table.probe_iter`)."""
+
+        table = self._tables.get(predicate)
+        if table is None:
+            return ()
+        return table.probe_iter(positions, values)
 
     def expire(self, now: float) -> dict[str, list[tuple]]:
         """Expire soft state in every table; returns removed rows per predicate."""
