@@ -27,9 +27,31 @@ whole run: the localized program is compiled into
 predicate→triggered-rules map (plus its per-delta plain/aggregate split) is
 memoized instead of being rebuilt on every delivery round.
 
+5. execution is **non-monotonic**: with ``EngineConfig(retract_derivations)``
+   (the default) base-fact deletions — link failures, keyed cost-change
+   displacements, soft-state expiry — propagate through derived state.
+   Every stored row carries a derivation count; a deletion round fires the
+   triggered rules with the retracted tuples as a deletion delta *before*
+   physically removing them (so the join sees the old database), releases
+   one support per lost derivation, ships ``retract`` messages for
+   remotely-located heads, and recomputes-and-diffs aggregate rules against
+   a per-node memo so vanished groups (stale best routes) are withdrawn.
+   Rules with negated body literals get compiled negation-delta variants so
+   changes of the negated relation assert/retract exactly the bindings they
+   unblock/block.
+
 ``EngineConfig(batch_deltas=False)`` restores the original per-tuple
-pipelined firing and ``compile_rules=False`` the AST-interpreting rule
-evaluation for comparison experiments and differential testing.
+pipelined firing, ``compile_rules=False`` the AST-interpreting rule
+evaluation, and ``retract_derivations=False`` the original monotonic
+semantics (derived state never removed), for comparison experiments and
+differential testing.
+
+Like the centralized :class:`~repro.ndlog.seminaive.IncrementalEvaluator`,
+the distributed counting scheme is exact for programs whose recursion is
+well-founded (e.g. the path-vector program, whose cycle check grounds every
+derivation); programs with cyclic self-support (``reach``-style transitive
+closure without a decreasing measure) should bound stale state with
+soft-state lifetimes, the paper's own remedy.
 
 The engine records a :class:`~repro.dn.trace.Trace` for convergence and
 message accounting, and supports runtime topology dynamics (link failure,
@@ -43,10 +65,12 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional
 
 from ..logic.bmc import FunctionRegistry
+from ..ndlog.aggregates import diff_rows
 from ..ndlog.ast import Fact, NDlogError, Program, Rule
 from ..ndlog.functions import builtin_registry
 from ..ndlog.localization import localize_program
-from ..ndlog.seminaive import DeltaIndex, RuleEngine
+from ..ndlog.plan import NEGATION_DELTA_SUFFIX, RuleFiring
+from ..ndlog.seminaive import DeltaIndex, RuleEngine, row_key
 from .events import Event, EventScheduler
 from .network import Channel, NodeId, Topology
 from .node import Node
@@ -77,6 +101,11 @@ class EngineConfig:
     #: Compile the localized program into cached join plans at load time
     #: (False restores the AST-interpreting evaluation path).
     compile_rules: bool = True
+    #: Propagate base-fact deletions through derived state: link failures,
+    #: cost changes, and soft-state expiry retract the derivations they fed
+    #: via per-tuple support counts and deletion deltas (False restores the
+    #: original monotonic semantics, where derived state is never removed).
+    retract_derivations: bool = True
 
 
 class DistributedEngine:
@@ -127,12 +156,25 @@ class DistributedEngine:
         ] = {}
         self._base_facts: list[tuple[NodeId, str, tuple]] = []
         self._seeded = False
-        # per-node queues of tuples awaiting batched delta processing
-        self._pending: dict[NodeId, deque[tuple[str, tuple]]] = {
+        # per-node queues of ops awaiting batched delta processing; each op
+        # is ``(kind, predicate, values)`` with kind one of insert / retract
+        # (counted) / delete (forced) / expire (forced, lifetime-checked)
+        self._pending: dict[NodeId, deque[tuple[str, str, tuple]]] = {
             node_id: deque() for node_id in topology.nodes
         }
         self._draining: set[NodeId] = set()
         self._flush_marks: dict[NodeId, float] = {}
+        #: negated predicate → compiled negation-delta variant rules, and
+        #: head predicate → non-aggregate rules deriving it (for keyed
+        #: refills); only built when retraction semantics are on
+        self._negation_triggers: dict[str, list[Rule]] = {}
+        self._head_rules: dict[str, list[Rule]] = {}
+        if self.config.retract_derivations:
+            for rule in self.program.rules:
+                for predicate, variant in self.rule_engine.negation_variants(rule):
+                    self._negation_triggers.setdefault(predicate, []).append(variant)
+                if not rule.head.has_aggregate:
+                    self._head_rules.setdefault(rule.head.predicate, []).append(rule)
 
     # ------------------------------------------------------------------
     # Seeding
@@ -182,6 +224,20 @@ class DistributedEngine:
     def _has_soft_state(self) -> bool:
         return any(decl.is_soft_state for decl in self.program.materialized.values())
 
+    def _live_soft_rows(self) -> bool:
+        """Does any node still hold soft-state rows awaiting expiry?"""
+
+        soft = [
+            decl.predicate
+            for decl in self.program.materialized.values()
+            if decl.is_soft_state
+        ]
+        return any(
+            len(node.db.table(predicate))
+            for node in self.nodes.values()
+            for predicate in soft
+        )
+
     # ------------------------------------------------------------------
     # Event plumbing
     # ------------------------------------------------------------------
@@ -193,13 +249,15 @@ class DistributedEngine:
 
         self.scheduler.schedule(delay, Event("insert", deliver, f"{predicate}@{node_id}"))
 
-    def _send(self, src: NodeId, dst: NodeId, predicate: str, values: tuple) -> None:
+    def _send(
+        self, src: NodeId, dst: NodeId, predicate: str, values: tuple, *, kind: str = "assert"
+    ) -> None:
         if dst not in self.nodes:
             raise NDlogError(f"tuple {predicate}{values} addressed to unknown node {dst!r}")
         dropped = self.channel.should_drop(src, dst)
         self.nodes[src].stats.messages_sent += 1
         self.trace.record_message(
-            self.scheduler.now, src, dst, predicate, values, delivered=not dropped
+            self.scheduler.now, src, dst, predicate, values, delivered=not dropped, kind=kind
         )
         if dropped:
             return
@@ -207,7 +265,10 @@ class DistributedEngine:
 
         def deliver() -> None:
             self.nodes[dst].stats.messages_received += 1
-            self._handle_insert(dst, predicate, values)
+            if kind == "retract":
+                self._handle_retract(dst, predicate, values)
+            else:
+                self._handle_insert(dst, predicate, values)
 
         self.scheduler.schedule(delay, Event("message", deliver, f"{src}->{dst} {predicate}"))
 
@@ -215,11 +276,25 @@ class DistributedEngine:
     # Batched semi-naive execution
     # ------------------------------------------------------------------
     def _handle_insert(self, node_id: NodeId, predicate: str, values: tuple) -> None:
+        self._enqueue(node_id, ("insert", predicate, values))
+
+    def _handle_retract(
+        self, node_id: NodeId, predicate: str, values: tuple, *, kind: str = "retract"
+    ) -> None:
+        """Queue a deletion op: ``retract`` drops one support, ``delete`` /
+        ``expire`` force-remove the row regardless of its count."""
+
+        self._enqueue(node_id, (kind, predicate, values))
+
+    def _enqueue(self, node_id: NodeId, op: tuple[str, str, tuple]) -> None:
         node = self.nodes[node_id]
         if not self.config.batch_deltas:
-            self._apply_and_fire(node, predicate, values)
+            if op[0] == "insert" and not self.config.retract_derivations:
+                self._apply_and_fire(node, op[1], op[2])
+            else:
+                self._apply_per_tuple(node, op)
             return
-        self._pending.setdefault(node_id, deque()).append((predicate, values))
+        self._pending.setdefault(node_id, deque()).append(op)
         if node_id in self._draining:
             return  # an enclosing drain loop will pick the tuple up
         now = self.scheduler.now
@@ -271,41 +346,276 @@ class DistributedEngine:
             destination = values[location] if location is not None else None
             if destination is None or destination == node_id:
                 if batch:
-                    pending.append((firing.predicate, values))
+                    pending.append(("insert", firing.predicate, values))
                 else:
                     self._handle_insert(node_id, firing.predicate, values)
             else:
                 self._send(node_id, destination, firing.predicate, values)
 
-    def _drain(self, node: Node) -> None:
-        """Process a node's pending tuples in batched semi-naive rounds.
+    def _dispatch_retractions(self, node: Node, firings) -> None:
+        """Route lost derivations: local heads queue counted retract ops,
+        remote heads become retraction messages."""
 
-        Each round drains every queued tuple into one delta (all tuples that
-        arrived at this timestamp, plus everything derived locally by the
-        previous round), fires each triggered non-aggregate rule once with
-        that batched delta, and recomputes triggered aggregate rules once at
-        the end of the round.
+        node_id = node.id
+        batch = self.config.batch_deltas
+        pending = self._pending[node_id] if batch else None
+        for firing in firings:
+            values = firing.values
+            location = firing.location
+            destination = values[location] if location is not None else None
+            if destination is None or destination == node_id:
+                if batch:
+                    pending.append(("retract", firing.predicate, values))
+                else:
+                    self._handle_retract(node_id, firing.predicate, values)
+            else:
+                self._send(node_id, destination, firing.predicate, values, kind="retract")
+
+    def _drain(self, node: Node) -> None:
+        """Process a node's pending ops in batched semi-naive rounds.
+
+        Each round drains every queued op (everything that arrived at this
+        timestamp, plus everything derived/retracted locally by the previous
+        round) and runs it through :meth:`_process_round`: deletions first
+        (retraction joins fire against the old database), then insertions,
+        then triggered aggregate recomputation.
         """
 
         queue = self._pending[node.id]
-        while queue:
-            delta: dict[str, list[tuple]] = {}
+        if not self.config.retract_derivations:
             while queue:
-                predicate, values = queue.popleft()
-                if self._apply_insert(node, predicate, values):
-                    delta.setdefault(predicate, []).append(values)
-            if not delta:
+                delta: dict[str, list[tuple]] = {}
+                while queue:
+                    _, predicate, values = queue.popleft()
+                    if self._apply_insert(node, predicate, values):
+                        delta.setdefault(predicate, []).append(values)
+                if not delta:
+                    continue
+                plain, aggregate = self._triggered_rules(delta)
+                # one shared view so the delta is copied/grouped once per
+                # round, not once per triggered rule
+                view = DeltaIndex(delta)
+                for rule in plain:
+                    self._dispatch(node, node.fire(rule, delta=view))
+                # aggregate recomputation is deferred to the end of the batch
+                # so large deltas pay one recomputation instead of one per
+                # tuple
+                for rule in aggregate:
+                    self._dispatch(node, node.fire(rule))
+            return
+        self._settle(node, queue)
+
+    def _apply_per_tuple(self, node: Node, op: tuple[str, str, tuple]) -> None:
+        """Per-tuple retraction-aware processing (``batch_deltas=False``)."""
+
+        self._settle(node, deque([op]))
+
+    def _settle(self, node: Node, queue) -> None:
+        """Run a node's op queue to quiescence in retraction-aware rounds.
+
+        Each round batches a FIFO prefix of the queue, split into a
+        deletion sub-round (processed first, so retraction joins see the
+        old database) and an insertion sub-round.  The prefix is cut at the
+        first op whose tuple already appeared in the **opposite direction**
+        within the round: an assertion and a later retraction of the same
+        tuple (e.g. a derivation shipped and then withdrawn by a keyed
+        displacement, both landing in one flush) must cancel in arrival
+        order — processing the retraction first would drop it as stale and
+        leave the row forever.  Cross-tuple reordering inside a round is
+        count-symmetric (both directions enumerate the same bindings), so
+        large same-timestamp batches keep firing as single semi-naive
+        rounds.  Triggered aggregate rules are recomputed once the counting
+        ops settle and diffed against the node's memoized previous output
+        so vanished groups are retracted (their diffs re-enter the queue).
+        """
+
+        changed: set[str] = set()
+        while queue or changed:
+            if not queue:
+                _, aggregate = self._triggered_rules(changed)
+                changed = set()
+                for rule in aggregate:
+                    self._recompute_view(node, rule)
                 continue
-            plain, aggregate = self._triggered_rules(delta)
-            # one shared view so the delta is copied/grouped once per round,
-            # not once per triggered rule
-            view = DeltaIndex(delta)
-            for rule in plain:
-                self._dispatch(node, node.fire(rule, delta=view))
-            # aggregate recomputation is deferred to the end of the batch so
-            # large deltas pay for one recomputation instead of one per tuple
-            for rule in aggregate:
-                self._dispatch(node, node.fire(rule))
+            del_ops: list[tuple[str, str, tuple]] = []
+            ins_ops: list[tuple[str, str, tuple]] = []
+            seen_del: set[tuple[str, tuple]] = set()
+            seen_ins: set[tuple[str, tuple]] = set()
+            while queue:
+                kind, predicate, values = queue[0]
+                key = (predicate, row_key(tuple(values)))
+                if kind == "insert":
+                    if key in seen_del:
+                        break
+                    seen_ins.add(key)
+                    ins_ops.append(queue.popleft())
+                else:
+                    if key in seen_ins:
+                        break
+                    seen_del.add(key)
+                    del_ops.append(queue.popleft())
+            if del_ops:
+                changed |= self._deletion_subround(node, del_ops, queue)
+            if ins_ops:
+                changed |= self._insertion_subround(node, ins_ops, queue)
+
+    def _deletion_subround(self, node: Node, del_ops, requeue) -> set[str]:
+        """One deletion round: decide, fire old-database joins, remove.
+
+        Counted retracts release one support, forced deletes/expiries match
+        the stored row; the retraction joins fire while the condemned rows
+        are still stored (the deletion delta joins against the *old*
+        database) and only then are the rows removed.  Returns the changed
+        predicates.
+        """
+
+        now = self.scheduler.now
+        changed: set[str] = set()
+        if del_ops:
+            removed: dict[str, list[tuple]] = {}
+            decided: list[tuple[str, tuple, str]] = []
+            displacing: set[tuple[str, tuple]] = set()
+            seen: set[tuple[str, tuple]] = set()
+            for kind, predicate, values in del_ops:
+                table = node.db.table(predicate)
+                row = tuple(values)
+                if kind == "retract":
+                    if not table.release(row):
+                        continue
+                elif kind == "expire":
+                    if not table.row_expired(row, now):
+                        continue  # refreshed since the expiry scan queued it
+                elif table.current(row) != row:
+                    continue  # forced delete of a row that is gone/replaced
+                if kind == "displace":
+                    # the displacing insertion is already queued and will
+                    # occupy the key: refilling would re-derive both tie
+                    # candidates and livelock
+                    displacing.add((predicate, table.key_of(row)))
+                key = (predicate, row_key(row))
+                if key in seen:
+                    continue
+                seen.add(key)
+                removed.setdefault(predicate, []).append(row)
+                decided.append((predicate, row, "retract" if kind == "displace" else kind))
+            if removed:
+                plain, _ = self._triggered_rules(removed)
+                view = DeltaIndex(removed)
+                retractions: list[RuleFiring] = []
+                for rule in plain:
+                    retractions.extend(node.derive(rule, delta=view))
+                refill: dict[str, set[tuple]] = {}
+                for predicate, row, kind in decided:
+                    marked = node.displaced.get(predicate)
+                    if marked:
+                        key = node.db.table(predicate).key_of(row)
+                        if key in marked and (predicate, key) not in displacing:
+                            marked.discard(key)
+                            refill.setdefault(predicate, set()).add(key)
+                    node.delete(predicate, row)
+                    self.trace.record_change(now, node.id, predicate, row, kind)
+                changed.update(removed)
+                self._dispatch_retractions(node, retractions)
+                # rows leaving a negated predicate enable blocked bindings
+                self._fire_negation_deltas(node, removed, retracting=False)
+                # re-derive once-displaced keys whose stored row is now gone
+                # (the displaced alternatives' support counts were destroyed)
+                for predicate, keys in refill.items():
+                    table = node.db.table(predicate)
+                    for rule in self._head_rules.get(predicate, ()):
+                        for firing in node.derive(rule):
+                            values = firing.values
+                            location = firing.location
+                            destination = (
+                                values[location] if location is not None else None
+                            )
+                            if destination is not None and destination != node.id:
+                                continue  # only locally stored rows refill
+                            if (
+                                table.key_of(values) in keys
+                                and table.current(values) is None
+                            ):
+                                requeue.append(("insert", predicate, values))
+        return changed
+
+    def _insertion_subround(self, node: Node, ins_ops, requeue) -> set[str]:
+        """One insertion round: apply, fire insertion deltas, dispatch.
+
+        Keyed displacements are rerouted through the deletion path first
+        (``requeue``: a ``displace`` of the old row, then the retried
+        insert), preserving FIFO order.  Returns the changed predicates.
+        """
+
+        changed: set[str] = set()
+        if ins_ops:
+            delta: dict[str, list[tuple]] = {}
+            for _, predicate, values in ins_ops:
+                table = node.db.table(predicate)
+                row = tuple(values)
+                # only keyed tables can displace (keyless rows are their own
+                # key, so an existing different row is impossible)
+                previous = table.current(row) if table.keys else None
+                if previous is not None and previous != row:
+                    # keyed displacement (e.g. a link cost change): retract
+                    # the displaced row's consequences before re-inserting,
+                    # and remember the key for refills (see deletion round)
+                    node.displaced.setdefault(predicate, set()).add(
+                        table.key_of(row)
+                    )
+                    requeue.append(("displace", predicate, previous))
+                    requeue.append(("insert", predicate, row))
+                    continue
+                if self._apply_insert(node, predicate, row):
+                    delta.setdefault(predicate, []).append(row)
+            if delta:
+                plain, _ = self._triggered_rules(delta)
+                view = DeltaIndex(delta)
+                for rule in plain:
+                    self._dispatch(node, node.derive(rule, delta=view))
+                changed.update(delta)
+                # rows entering a negated predicate block bindings that
+                # relied on their absence
+                self._fire_negation_deltas(node, delta, retracting=True)
+        return changed
+
+    def _fire_negation_deltas(
+        self, node: Node, changed: Mapping[str, list[tuple]], *, retracting: bool
+    ) -> None:
+        """Fire negation-delta variants for changed negated predicates."""
+
+        for predicate, rows in changed.items():
+            variants = self._negation_triggers.get(predicate)
+            if not variants:
+                continue
+            delta = {predicate + NEGATION_DELTA_SUFFIX: rows}
+            for variant in variants:
+                firings = node.derive(variant, delta=delta)
+                if retracting:
+                    self._dispatch_retractions(node, firings)
+                else:
+                    self._dispatch(node, firings)
+
+    def _recompute_view(self, node: Node, rule: Rule) -> None:
+        """Recompute an aggregate rule and diff against the node's memo."""
+
+        firings = node.fire(rule)
+        added, removed, rows = diff_rows(
+            node.view_memo.get(id(rule), set()), (f.values for f in firings)
+        )
+        node.view_memo[id(rule)] = rows
+        if not added and not removed:
+            return
+        predicate = rule.head.predicate
+        location = rule.head.location
+        name = rule.name
+        # removals first so a keyed aggregate table retracts the stale group
+        # value before the replacement asserts
+        self._dispatch_retractions(
+            node, [RuleFiring(name, predicate, row, location) for row in removed]
+        )
+        self._dispatch(
+            node, [RuleFiring(name, predicate, row, location) for row in added]
+        )
 
     def _triggered_rules(
         self, delta: Mapping[str, list[tuple]]
@@ -357,7 +667,8 @@ class DistributedEngine:
             table = self.nodes[node_id].db.table(predicate)
             if values in table:
                 # pure refresh: extend the lifetime without re-firing rules
-                table.insert(values, self.scheduler.now)
+                # (and without inflating the row's support count)
+                table.refresh(values, self.scheduler.now)
             else:
                 # the tuple expired — reinsert through the engine so rules
                 # re-derive downstream state (queued in batched mode)
@@ -370,13 +681,29 @@ class DistributedEngine:
 
     def _expire_soft_state(self) -> None:
         now = self.scheduler.now
-        for node in self.nodes.values():
-            removed = node.db.expire(now)
-            for predicate, rows in removed.items():
-                for row in rows:
-                    node.stats.tuples_deleted += 1
-                    self.trace.record_change(now, node.id, predicate, row, "expire")
-        if not self.scheduler.is_empty or self.config.refresh_interval:
+        if self.config.retract_derivations:
+            # route expiry through the retraction pipeline: the rows stay in
+            # place until the node's deletion round has fired the retraction
+            # joins against them (the round re-checks the lifetime, so a
+            # same-instant refresh wins)
+            for node in self.nodes.values():
+                for predicate in node.db.predicates():
+                    for row in node.db.table(predicate).expired(now):
+                        self._handle_retract(node.id, predicate, row, kind="expire")
+        else:
+            for node in self.nodes.values():
+                removed = node.db.expire(now)
+                for predicate, rows in removed.items():
+                    for row in rows:
+                        node.stats.tuples_deleted += 1
+                        self.trace.record_change(now, node.id, predicate, row, "expire")
+        if (
+            not self.scheduler.is_empty
+            or self.config.refresh_interval
+            # un-refreshed soft state must still be scanned to its expiry
+            # (and retracted), even after message activity has quiesced
+            or self._live_soft_rows()
+        ):
             self.scheduler.schedule(
                 self.config.expiry_scan_interval,
                 Event("expiry", self._expire_soft_state, "soft-state expiry scan"),
@@ -388,10 +715,13 @@ class DistributedEngine:
     def schedule_link_failure(self, src: NodeId, dst: NodeId, at: float, *, symmetric: bool = True) -> None:
         """Fail a link at an absolute simulation time.
 
-        The link tuples are removed from the endpoints' databases.  Derived
-        state is *not* retracted (monotonic Datalog semantics); experiments
-        that need full retraction semantics use the protocol simulators in
-        :mod:`repro.protocols`.
+        The link tuples are removed from the endpoints' databases and — with
+        ``retract_derivations`` (the default) — the deletion propagates
+        through derived state: shipped copies (``link_d``), paths, and best
+        routes that depended on the dead link are retracted across the
+        network via deletion deltas and support counts.  With
+        ``retract_derivations=False`` only the base link tuples are removed
+        (the original monotonic semantics).
         """
 
         def fail() -> None:
@@ -399,6 +729,11 @@ class DistributedEngine:
             if not self.config.link_predicate:
                 return
             for link in affected:
+                if self.config.retract_derivations:
+                    self._handle_retract(
+                        link.src, self.config.link_predicate, link.as_fact(), kind="delete"
+                    )
+                    continue
                 node = self.nodes[link.src]
                 if node.delete(self.config.link_predicate, link.as_fact()):
                     self.trace.record_change(
@@ -406,6 +741,25 @@ class DistributedEngine:
                     )
 
         self.scheduler.schedule_at(at, Event("link_failure", fail, f"{src}-{dst} down"))
+
+    def schedule_link_restore(self, src: NodeId, dst: NodeId, at: float, *, symmetric: bool = True) -> None:
+        """Restore a failed link at an absolute simulation time.
+
+        The topology link(s) come back up and — when a ``link_predicate`` is
+        configured — the link facts are re-injected at their endpoints so
+        rules re-derive downstream state.  When ``link_predicate`` is
+        falsy, the topology is restored but nothing is injected (consistent
+        with :meth:`schedule_link_failure`).
+        """
+
+        def restore() -> None:
+            affected = self.topology.restore_link(src, dst, symmetric=symmetric)
+            if not self.config.link_predicate:
+                return
+            for link in affected:
+                self._handle_insert(link.src, self.config.link_predicate, link.as_fact())
+
+        self.scheduler.schedule_at(at, Event("link_restore", restore, f"{src}-{dst} up"))
 
     def schedule_cost_change(
         self, src: NodeId, dst: NodeId, cost: float, at: float, *, symmetric: bool = True
@@ -417,7 +771,11 @@ class DistributedEngine:
             if not self.config.link_predicate:
                 return
             for link in affected:
-                self._handle_insert(link.src, self.config.link_predicate, link.as_fact())
+                # a cost change on a failed link only updates the topology;
+                # injecting its fact would resurrect a dead link (the new
+                # cost ships when the link is restored)
+                if link.up:
+                    self._handle_insert(link.src, self.config.link_predicate, link.as_fact())
 
         self.scheduler.schedule_at(at, Event("cost_change", change, f"{src}-{dst} cost={cost}"))
 

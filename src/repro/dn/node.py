@@ -50,6 +50,13 @@ class Node:
         # compiled localized program for the whole network.  Standalone
         # nodes (tests, tooling) get a private engine on demand.
         self.rule_engine = rule_engine if rule_engine is not None else RuleEngine()
+        #: rule identity → memoized output rows of the last recompute of a
+        #: view (aggregate) rule at this node, diffed to emit retractions
+        self.view_memo: dict[int, set[tuple]] = {}
+        #: predicate → primary keys that experienced a displacement (the
+        #: displaced row's support count was destroyed; when the stored row
+        #: under such a key is retracted, the key is re-derived locally)
+        self.displaced: dict[str, set[tuple]] = {}
         for decl in program.materialized.values():
             self.db.declare_from(decl)
 
@@ -62,6 +69,22 @@ class Node:
 
         self.stats.rule_firings += 1
         return self.rule_engine.fire_rule(rule, self.db, delta=delta)
+
+    def derive(
+        self,
+        rule: Rule,
+        delta: Optional[Mapping[str, Iterable[tuple]]] = None,
+    ) -> list[RuleFiring]:
+        """Fire one rule at body-binding multiplicity (support counting).
+
+        Used by the retraction-aware engine for both directions of the
+        delta: each firing is one support gained (insertion rounds) or one
+        support lost (deletion rounds, where ``delta`` holds the retracted
+        tuples still present in the local database).
+        """
+
+        self.stats.rule_firings += 1
+        return self.rule_engine.derive(rule, self.db, delta=delta)
 
     def insert(self, predicate: str, values: tuple, now: float) -> bool:
         """Insert a tuple into the local database; returns True on change."""
@@ -90,6 +113,16 @@ class Node:
         if deleted:
             self.stats.tuples_deleted += 1
         return deleted
+
+    def release(self, predicate: str, values: tuple) -> bool:
+        """Drop one support of a stored row; True when the last is gone.
+
+        The row itself stays in the database until the engine's deletion
+        round has fired the retraction joins (see
+        :meth:`repro.ndlog.store.Table.release`).
+        """
+
+        return self.db.release(predicate, values)
 
     def rows(self, predicate: str) -> list[tuple]:
         return self.db.rows(predicate)

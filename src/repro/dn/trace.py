@@ -17,18 +17,27 @@ from .network import NodeId
 
 @dataclass(frozen=True, slots=True)
 class StateChange:
-    """One tuple insertion/replacement/deletion at a node."""
+    """One tuple insertion/replacement/deletion at a node.
+
+    ``kind`` distinguishes base-fact removals (``delete``), soft-state
+    expiry (``expire``), and the retraction of *derived* tuples whose last
+    supporting derivation disappeared (``retract``).
+    """
 
     time: float
     node: NodeId
     predicate: str
     values: tuple
-    kind: str = "insert"  # insert | replace | delete | expire
+    kind: str = "insert"  # insert | replace | delete | expire | retract
 
 
 @dataclass(frozen=True, slots=True)
 class MessageRecord:
-    """One tuple shipment between nodes."""
+    """One tuple shipment between nodes.
+
+    ``kind`` is ``assert`` for a derived-tuple announcement and ``retract``
+    for a deletion delta withdrawing a previously shipped derivation.
+    """
 
     time: float
     src: NodeId
@@ -36,6 +45,7 @@ class MessageRecord:
     predicate: str
     values: tuple
     delivered: bool = True
+    kind: str = "assert"  # assert | retract
 
 
 @dataclass
@@ -62,8 +72,11 @@ class Trace:
         predicate: str,
         values: tuple,
         delivered: bool = True,
+        kind: str = "assert",
     ) -> None:
-        self.messages.append(MessageRecord(time, src, dst, predicate, values, delivered))
+        self.messages.append(
+            MessageRecord(time, src, dst, predicate, values, delivered, kind)
+        )
 
     # -- analysis ----------------------------------------------------------
     @property
@@ -77,6 +90,20 @@ class Trace:
     @property
     def state_change_count(self) -> int:
         return len(self.state_changes)
+
+    @property
+    def retraction_count(self) -> int:
+        """State changes that removed a tuple (delete / expire / retract)."""
+
+        return sum(
+            1 for c in self.state_changes if c.kind in ("delete", "expire", "retract")
+        )
+
+    def changes_of_kind(self, kind: str) -> list[StateChange]:
+        return [c for c in self.state_changes if c.kind == kind]
+
+    def retraction_messages(self) -> list[MessageRecord]:
+        return [m for m in self.messages if m.kind == "retract"]
 
     def last_change_time(self, predicate: Optional[str] = None) -> float:
         """Time of the last state change (optionally for one predicate)."""

@@ -32,10 +32,18 @@ from .ast import (
 from .functions import BUILTIN_FUNCTIONS, builtin_registry
 from .localization import LocalizationResult, is_localized, localize_program, localize_rule
 from .parser import ParseError, parse_program, parse_rule, tokenize
-from .plan import CompiledRule, compile_rule, order_body
-from .seminaive import EvaluationStats, Evaluator, RuleEngine, RuleFiring, evaluate
+from .plan import CompiledRule, compile_rule, negation_delta_rules, order_body
+from .seminaive import (
+    EvaluationStats,
+    Evaluator,
+    IncrementalEvaluator,
+    RetractionStats,
+    RuleEngine,
+    RuleFiring,
+    evaluate,
+)
 from .store import Database, StoredTuple, Table
-from .stratification import DependencyGraph, Stratification, stratify
+from .stratification import DependencyGraph, Stratification, needs_recompute, stratify
 
 __all__ = [
     "Aggregate",
@@ -49,6 +57,8 @@ __all__ = [
     "Evaluator",
     "Fact",
     "HeadLiteral",
+    "IncrementalEvaluator",
+    "RetractionStats",
     "Literal",
     "LocalizationResult",
     "MaterializeDecl",
@@ -66,6 +76,8 @@ __all__ = [
     "builtin_registry",
     "compile_rule",
     "evaluate",
+    "needs_recompute",
+    "negation_delta_rules",
     "order_body",
     "is_localized",
     "localize_program",

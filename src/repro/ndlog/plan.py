@@ -30,6 +30,7 @@ soft-state expiry — and the interpreter remains available via
 from __future__ import annotations
 
 import operator
+import sys
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
@@ -632,6 +633,109 @@ class CompiledRule:
             RuleFiring(name, predicate, row, location)
             for row in aggregate_rows(self.head, raw)
         ]
+
+    def fire_derivations(self, db, view=None) -> list[RuleFiring]:
+        """The retraction/counting variant of :meth:`fire`.
+
+        Enumerates head tuples at **body-binding multiplicity**: one firing
+        per distinct body binding, with no same-row deduplication, which is
+        what derivation-count maintenance needs (two bindings deriving the
+        same head row are two supports, and losing one of them must
+        decrement — not delete — the row).
+
+        With a ``view``, this is the deletion-delta join: the caller passes
+        the retracted tuples as the view **before physically removing them
+        from** ``db``, so the join enumerates exactly the derivations that
+        involved a retracted tuple against the old database — the same
+        index-probe machinery as the insertion path, pointed at the other
+        direction of the delta.  Aggregate heads have no binding-level
+        deletion semantics (they are recomputed and diffed instead) and are
+        rejected.
+        """
+
+        if self.has_aggregate:
+            raise NDlogError(
+                f"rule {self.name}: aggregate heads are recomputed, not "
+                "incrementally retracted"
+            )
+        if self._dead:
+            return []
+        raw: list[tuple] = []
+        append = raw.append
+        row_fn = self._row_fn
+        env: list = [None] * self.n_slots
+        if view is None:
+
+            def build(env: list) -> None:
+                append(row_fn(env))
+
+            self._root(env, db, None, -1, build)
+        else:
+            seen: set[tuple] = set()
+            add = seen.add
+
+            def build(env: list) -> None:
+                key = tuple(env)
+                try:
+                    if key in seen:
+                        return
+                except TypeError:  # a slot holds an unhashable (list) value
+                    key = tuple(
+                        tuple(v) if isinstance(v, list) else v for v in env
+                    )
+                    if key in seen:
+                        return
+                add(key)
+                append(row_fn(env))
+
+            for sid, pred in self._delta_candidates:
+                if pred in view:
+                    self._root(env, db, view, sid, build)
+        name = self.name
+        predicate = self.head_predicate
+        location = self.head_location
+        return [RuleFiring(name, predicate, row, location) for row in raw]
+
+
+#: Suffix naming the synthetic delta predicate a negated literal is matched
+#: against in its rule's negation-delta variant.
+NEGATION_DELTA_SUFFIX = "~negdelta"
+
+
+def negation_delta_rules(rule: Rule) -> tuple[tuple[str, Rule], ...]:
+    """Delta variants of a rule for changes of its **negated** predicates.
+
+    Incremental retraction needs to react when a negated body predicate
+    changes: inserting ``q(c)`` retracts every derivation whose body relied
+    on ``!q(c)``, and deleting ``q(c)`` enables the derivations it was
+    blocking.  For each negated literal this builds a variant rule where
+    that literal becomes a *positive* literal over a synthetic predicate
+    (``q~negdelta``), appended after the rest of the body so all its
+    variables are already bound.  Firing the variant with a delta view
+    ``{q~negdelta: changed_rows}`` enumerates exactly the bindings whose
+    negated literal grounds to a changed ``q`` tuple — the evaluators
+    dispatch those firings as retractions (for ``q`` insertions) or
+    derivations (for ``q`` deletions).
+
+    Returns ``(negated_predicate, variant_rule)`` pairs; aggregate-headed
+    rules are recomputed wholesale and get no variants.
+    """
+
+    if rule.head.has_aggregate:
+        return ()
+    variants: list[tuple[str, Rule]] = []
+    for index, item in enumerate(rule.body):
+        if not isinstance(item, Literal) or not item.negated:
+            continue
+        synthetic = sys.intern(item.predicate + NEGATION_DELTA_SUFFIX)
+        # placed last: safety guarantees all its variables are bound by the
+        # rest of the body, so the delta probe uses every argument position
+        positive = Literal(synthetic, item.args, location=None, negated=False)
+        body = rule.body[:index] + rule.body[index + 1 :] + (positive,)
+        variants.append(
+            (item.predicate, Rule(f"{rule.name}~negdelta{index}", rule.head, body))
+        )
+    return tuple(variants)
 
 
 def compile_rule(

@@ -28,12 +28,13 @@ scans for body literal matching on either path.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..logic.bmc import EvaluationError, FunctionRegistry, ground_eval
 from ..logic.terms import Const, Var
-from .aggregates import aggregate_rows
+from .aggregates import aggregate_rows, diff_rows
 from .ast import (
     Assignment,
     BodyItem,
@@ -46,14 +47,16 @@ from .ast import (
 )
 from .functions import builtin_registry
 from .plan import (  # noqa: F401  (re-exported: public API of this module)
+    NEGATION_DELTA_SUFFIX,
     CompiledRule,
     RuleFiring,
     comparison_fn,
     compile_rule,
+    negation_delta_rules,
     order_body,
 )
 from .store import Database
-from .stratification import Stratification, stratify
+from .stratification import DependencyGraph, Stratification, needs_recompute, stratify
 
 
 Bindings = dict[Var, object]
@@ -156,10 +159,11 @@ class RuleEngine:
         self.registry = registry or builtin_registry()
         self.use_indexes = use_indexes
         self.compile_rules = compile_rules
-        # Both caches key by rule identity and retain the rule object so a
+        # All caches key by rule identity and retain the rule object so a
         # recycled id() can never alias a stale entry.
         self._order_cache: dict[int, tuple[Rule, list[BodyItem]]] = {}
         self._plan_cache: dict[int, CompiledRule] = {}
+        self._negation_cache: dict[int, tuple[Rule, tuple[tuple[str, Rule], ...]]] = {}
 
     # ------------------------------------------------------------------
     # Per-program compiled state
@@ -186,6 +190,25 @@ class RuleEngine:
             compiled = compile_rule(rule, self.registry, use_indexes=self.use_indexes)
             self._plan_cache[id(rule)] = compiled
         return compiled
+
+    def negation_variants(self, rule: Rule) -> tuple[tuple[str, Rule], ...]:
+        """The cached negation-delta variants of a rule.
+
+        ``(negated_predicate, variant_rule)`` pairs (see
+        :func:`repro.ndlog.plan.negation_delta_rules`); variants are
+        precompiled on the compiled path so retraction rounds pay no
+        per-round analysis.
+        """
+
+        entry = self._negation_cache.get(id(rule))
+        if entry is None or entry[0] is not rule:
+            variants = negation_delta_rules(rule)
+            if self.compile_rules:
+                for _, variant in variants:
+                    self.plan_for(variant)
+            entry = (rule, variants)
+            self._negation_cache[id(rule)] = entry
+        return entry[1]
 
     # ------------------------------------------------------------------
     # Body solving
@@ -377,6 +400,49 @@ class RuleEngine:
             RuleFiring(rule.name, head.predicate, row, head.location) for row in rows
         ]
 
+    def derive(
+        self,
+        rule: Rule,
+        db: Database,
+        *,
+        delta: Optional[Mapping[str, Iterable[tuple]]] = None,
+    ) -> list[RuleFiring]:
+        """Enumerate head tuples at body-binding multiplicity.
+
+        The counting/retraction twin of :meth:`fire_rule`: one firing per
+        distinct body binding, with no same-row deduplication, so callers
+        can maintain derivation counts (each firing is one support gained
+        or — when ``delta`` holds retracted tuples still present in ``db``
+        — one support lost).  Aggregate heads are rejected; they are
+        recomputed and diffed instead.
+        """
+
+        if self.compile_rules:
+            view = None
+            if delta is not None:
+                view = delta if isinstance(delta, DeltaIndex) else DeltaIndex(delta)
+            return self.plan_for(rule).fire_derivations(db, view)
+        head = rule.head
+        if head.has_aggregate:
+            raise NDlogError(
+                f"rule {rule.name}: aggregate heads are recomputed, not "
+                "incrementally retracted"
+            )
+        firings: list[RuleFiring] = []
+        for binding in self.solve_body(rule, db, delta=delta):
+            row = []
+            for arg in head.plain_args():
+                try:
+                    row.append(ground_eval(arg, self.registry, binding))
+                except EvaluationError as exc:
+                    raise NDlogError(
+                        f"rule {rule.name}: cannot evaluate head argument {arg}: {exc}"
+                    ) from exc
+            firings.append(
+                RuleFiring(rule.name, head.predicate, tuple(row), head.location)
+            )
+        return firings
+
 
 def _hashable(value: object) -> object:
     if isinstance(value, list):
@@ -478,6 +544,440 @@ class Evaluator:
                 delta = new_delta
                 first_round = False
         return db, stats
+
+
+def row_key(row: tuple) -> tuple:
+    """A hashable stand-in for a row (per-value ``_hashable`` fallback)."""
+
+    try:
+        hash(row)
+        return row
+    except TypeError:
+        return tuple(_hashable(v) for v in row)
+
+
+@dataclass
+class RetractionStats:
+    """Bookkeeping produced by incremental evaluation."""
+
+    rounds: int = 0
+    derivations: int = 0
+    retractions: int = 0
+    rederived: int = 0
+    view_recomputes: int = 0
+
+
+class IncrementalEvaluator:
+    """Stratified evaluation under **insertions and deletions** of base facts.
+
+    The monotone :class:`Evaluator` computes a fixpoint once; this class
+    keeps a database at fixpoint while base facts come and go, using the
+    count/re-derive algorithm:
+
+    * every stored row carries a **derivation count** (supports) maintained
+      per body binding via :meth:`RuleEngine.derive`;
+    * a deletion **releases** one support of each derived tuple it fed
+      (deletion deltas join against the old database: retraction rules fire
+      *before* the deleted rows are physically removed); a tuple whose last
+      support is gone is retracted and its own consequences released in the
+      next round;
+    * tuples of **recursive predicates** are over-deleted on *any* lost
+      support (counts cannot see cyclic support), then **re-derived** from
+      the surviving database, so tuples with alternative well-founded
+      derivations come back and tuples whose remaining support was circular
+      stay dead (DRed);
+    * **negated** predicates get compiled negation-delta variants: an
+      insertion into ``q`` retracts the bindings it newly blocks, a deletion
+      from ``q`` asserts the bindings it was blocking;
+    * **aggregate** rules are recomputed over the changed body and diffed
+      against their memoized previous output
+      (:func:`repro.ndlog.aggregates.diff_rows`), per stratum.
+
+    After any ``apply`` the database equals the from-scratch fixpoint of the
+    surviving base facts (the property tests in
+    ``tests/ndlog/test_retraction_properties.py`` check this on randomized
+    programs and insert/delete sequences).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        registry: Optional[FunctionRegistry] = None,
+        use_indexes: bool = True,
+        compile_rules: bool = True,
+        max_rounds: int = 100_000,
+    ) -> None:
+        program.check()
+        self.program = program
+        self.engine = RuleEngine(
+            registry, use_indexes=use_indexes, compile_rules=compile_rules
+        )
+        self.stratification: Stratification = stratify(program)
+        self.recursive_predicates = DependencyGraph(program).recursive_predicates()
+        self.max_rounds = max_rounds
+        self.stats = RetractionStats()
+        self.db = Database()
+        for decl in program.materialized.values():
+            self.db.declare_from(decl)
+        self.counting_rules = [r for r in program.rules if not needs_recompute(r)]
+        self.view_rules = [r for r in program.rules if needs_recompute(r)]
+        self.engine.precompile(self.counting_rules + self.view_rules)
+        #: positive body predicate → counting rules it can (re)trigger
+        self._triggers: dict[str, list[Rule]] = {}
+        for rule in self.counting_rules:
+            for pred in {lit.predicate for lit in rule.positive_literals}:
+                self._triggers.setdefault(pred, []).append(rule)
+        #: head predicate → counting rules deriving it (for keyed refills)
+        self._head_rules: dict[str, list[Rule]] = {}
+        for rule in self.counting_rules:
+            self._head_rules.setdefault(rule.head.predicate, []).append(rule)
+        #: negated predicate → negation-delta variant rules it triggers
+        self._negation_triggers: dict[str, list[Rule]] = {}
+        for rule in self.counting_rules:
+            for pred, variant in self.engine.negation_variants(rule):
+                self._negation_triggers.setdefault(pred, []).append(variant)
+        order = {id(rule): i for i, rule in enumerate(program.rules)}
+        self._view_order = sorted(
+            self.view_rules,
+            key=lambda r: (self.stratification.rule_strata.get(r.name, 0), order[id(r)]),
+        )
+        self._view_memo: dict[int, set[tuple]] = {}
+        self._view_seen: dict[int, int] = {}
+        # change tracking: predicate → tick of its latest physical change
+        self._tick = 0
+        self._dirty: dict[str, int] = {}
+        # the op worklist: ``(kind, predicate, row)`` with kind one of
+        # ``insert`` (one support gained), ``retract`` (one support lost),
+        # ``delete`` (forced removal).  Ops are processed in FIFO order —
+        # a round takes the longest same-direction prefix — because an
+        # assertion and a later retraction of the same tuple (e.g. a
+        # negation-enabled derivation whose premise is then retracted) must
+        # cancel in order, not be reordered deletions-first.
+        self._queue: "deque[tuple[str, str, tuple]]" = deque()
+        self._overdeleted: dict[str, dict[tuple, tuple]] = {}
+        # keyed-displacement tracking: a displacement destroys the displaced
+        # row's support count, so when the stored row under a once-displaced
+        # key is later retracted, the key is re-derived ("refilled") from the
+        # surviving database
+        self._displaced: dict[str, set[tuple]] = {}
+        self._refill: dict[str, set[tuple]] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def load(self, extra_facts: Iterable[Fact | tuple] = ()) -> Database:
+        """Evaluate the program's facts (plus extras) to the initial fixpoint."""
+
+        inserts: list[tuple[str, tuple]] = [
+            (fact.predicate, tuple(fact.values)) for fact in self.program.facts
+        ]
+        for item in extra_facts:
+            if isinstance(item, Fact):
+                inserts.append((item.predicate, tuple(item.values)))
+            else:
+                predicate, values = item
+                inserts.append((predicate, tuple(values)))
+        self.apply(inserts=inserts)
+        return self.db
+
+    def insert(self, predicate: str, values: Sequence[object]) -> None:
+        self.apply(inserts=[(predicate, tuple(values))])
+
+    def delete(self, predicate: str, values: Sequence[object]) -> None:
+        self.apply(deletes=[(predicate, tuple(values))])
+
+    def apply(
+        self,
+        inserts: Iterable[tuple[str, Sequence[object]]] = (),
+        deletes: Iterable[tuple[str, Sequence[object]]] = (),
+    ) -> Database:
+        """Apply a batch of base-fact changes and restore the fixpoint."""
+
+        for predicate, values in deletes:
+            self._queue.append(("delete", predicate, tuple(values)))
+        for predicate, values in inserts:
+            self._queue.append(("insert", predicate, tuple(values)))
+        self._settle_counting()
+        self._view_sweep()
+        return self.db
+
+    # ------------------------------------------------------------------
+    # Change bookkeeping
+    # ------------------------------------------------------------------
+    def _mark_dirty(self, predicate: str) -> None:
+        self._tick += 1
+        self._dirty[predicate] = self._tick
+
+    def _bump_round(self) -> None:
+        self.stats.rounds += 1
+        if self.stats.rounds > self.max_rounds:
+            raise NDlogError(
+                "incremental evaluation did not reach a fixpoint (round bound "
+                "exceeded)"
+            )
+
+    # ------------------------------------------------------------------
+    # Counting fixpoint (deletion → re-derivation → insertion rounds)
+    # ------------------------------------------------------------------
+    def _settle_counting(self) -> None:
+        while self._queue or self._overdeleted or self._refill:
+            self._bump_round()
+            if self._queue:
+                # one round = the longest same-direction prefix of the FIFO
+                # worklist, so paired assert/retract ops stay ordered
+                deleting = self._queue[0][0] != "insert"
+                ops: list[tuple[str, str, tuple]] = []
+                while self._queue and (self._queue[0][0] != "insert") == deleting:
+                    ops.append(self._queue.popleft())
+                if deleting:
+                    self._deletion_round(ops)
+                else:
+                    self._insertion_round(ops)
+            elif self._overdeleted:
+                self._rederive_round()
+            else:
+                self._refill_round()
+
+    def _fire_negation_deltas(
+        self, changed: Mapping[str, list[tuple]], *, retracting: bool
+    ) -> None:
+        """Fire negation-delta variants for changed rows of negated predicates.
+
+        ``retracting=True`` when the rows were *inserted* (newly blocked
+        bindings are retracted); ``False`` when the rows were *deleted*
+        (newly enabled bindings are derived).
+        """
+
+        for predicate, rows in changed.items():
+            variants = self._negation_triggers.get(predicate)
+            if not variants:
+                continue
+            delta = {predicate + NEGATION_DELTA_SUFFIX: rows}
+            for variant in variants:
+                for firing in self.engine.derive(variant, self.db, delta=delta):
+                    if retracting:
+                        self._queue.append(("retract", firing.predicate, firing.values))
+                    else:
+                        self._queue.append(("insert", firing.predicate, firing.values))
+
+    def _deletion_round(self, ops: list[tuple[str, str, tuple]]) -> None:
+        removed: dict[str, list[tuple]] = {}
+        rederivable: dict[str, dict[tuple, tuple]] = {}
+        displacing: set[tuple[str, tuple]] = set()
+        marked: set[tuple[str, tuple]] = set()
+
+        def mark(predicate: str, row: tuple, rederive: bool = False) -> None:
+            key = (predicate, row_key(row))
+            if key in marked:
+                return
+            marked.add(key)
+            removed.setdefault(predicate, []).append(row)
+            if rederive:
+                rederivable.setdefault(predicate, {})[key[1]] = row
+
+        for kind, predicate, row in ops:
+            table = self.db.table(predicate)
+            if kind in ("delete", "displace"):
+                # forced removals (base-fact deletion, keyed displacement)
+                # must not come back through re-derivation
+                if table.current(row) == row:
+                    mark(predicate, row)
+                    if kind == "displace":
+                        # the displacing insertion is already queued and will
+                        # occupy the key: refilling here would re-derive both
+                        # tie candidates and livelock
+                        displacing.add((predicate, table.key_of(row)))
+            elif predicate in self.recursive_predicates:
+                # counts cannot see cyclic support: over-delete on any lost
+                # derivation, re-derive survivors afterwards (DRed)
+                if row in table:
+                    mark(predicate, row, rederive=True)
+            elif table.release(row):
+                mark(predicate, row)
+        if not removed:
+            return
+        # fire retraction joins against the OLD database (rows still present)
+        view = DeltaIndex(removed)
+        firings: list[RuleFiring] = []
+        seen_rules: set[int] = set()
+        for predicate in removed:
+            for rule in self._triggers.get(predicate, ()):
+                if id(rule) in seen_rules:
+                    continue
+                seen_rules.add(id(rule))
+                firings.extend(self.engine.derive(rule, self.db, delta=view))
+        # physically remove, then release each lost support
+        for predicate, rows in removed.items():
+            table = self.db.table(predicate)
+            displaced_keys = self._displaced.get(predicate)
+            for row in rows:
+                if displaced_keys:
+                    key = table.key_of(row)
+                    if key in displaced_keys and (predicate, key) not in displacing:
+                        # the winner of an earlier displacement is gone: the
+                        # displaced alternatives must be re-derived
+                        displaced_keys.discard(key)
+                        self._refill.setdefault(predicate, set()).add(key)
+                table.delete(row)
+                self.stats.retractions += 1
+            self._mark_dirty(predicate)
+        for predicate, rows in rederivable.items():
+            self._overdeleted.setdefault(predicate, {}).update(rows)
+        for firing in firings:
+            self._queue.append(("retract", firing.predicate, firing.values))
+        # deletions from negated predicates enable previously blocked bindings
+        self._fire_negation_deltas(removed, retracting=False)
+
+    def _rederive_round(self) -> None:
+        """Re-insert over-deleted tuples that still have a derivation.
+
+        Runs once the deletion worklist is empty: counting rules whose head
+        predicate lost tuples are re-fired over the surviving database; an
+        over-deleted tuple enumerated again has a well-founded alternative
+        derivation and comes back with its support count rebuilt, while
+        tuples whose only remaining support was cyclic stay retracted.
+        """
+
+        overdeleted = self._overdeleted
+        self._overdeleted = {}
+        support: dict[tuple[str, tuple], int] = {}
+        for rule in self.counting_rules:
+            pending = overdeleted.get(rule.head.predicate)
+            if not pending:
+                continue
+            for firing in self.engine.derive(rule, self.db):
+                key = (firing.predicate, row_key(firing.values))
+                if key[1] in pending:
+                    support[key] = support.get(key, 0) + 1
+        # a view (aggregate) rule's memoized output also supports its rows
+        for rule in self.view_rules:
+            pending = overdeleted.get(rule.head.predicate)
+            if not pending:
+                continue
+            for row in self._view_memo.get(id(rule), ()):
+                key = (rule.head.predicate, row_key(row))
+                if key[1] in pending:
+                    support[key] = support.get(key, 0) + 1
+        if not support:
+            return
+        reinserted: dict[str, list[tuple]] = {}
+        for (predicate, hashed_row), supports in support.items():
+            row = overdeleted[predicate][hashed_row]
+            table = self.db.table(predicate)
+            for _ in range(supports):
+                table.upsert(row)
+            reinserted.setdefault(predicate, []).append(row)
+            self.stats.rederived += 1
+            self._mark_dirty(predicate)
+        # downstream consequences: the re-inserted rows are a fresh delta
+        view = DeltaIndex(reinserted)
+        seen_rules: set[int] = set()
+        for predicate in reinserted:
+            for rule in self._triggers.get(predicate, ()):
+                if id(rule) in seen_rules:
+                    continue
+                seen_rules.add(id(rule))
+                for firing in self.engine.derive(rule, self.db, delta=view):
+                    self._queue.append(("insert", firing.predicate, firing.values))
+        self._fire_negation_deltas(reinserted, retracting=True)
+
+    def _refill_round(self) -> None:
+        """Re-derive keyed rows whose displacement winner was retracted.
+
+        A keyed insertion that displaces a different row destroys the
+        displaced row's support count (the table holds one row per key).
+        When the stored row under such a key is later retracted, the rules
+        deriving the predicate are re-fired and every derivation whose key
+        is being refilled — and whose key slot is currently empty — is
+        queued as a fresh support, so surviving alternatives (e.g. the
+        equal-cost best path that lost an earlier tie) come back.
+        """
+
+        refill = self._refill
+        self._refill = {}
+        for predicate, keys in refill.items():
+            table = self.db.table(predicate)
+            for rule in self._head_rules.get(predicate, ()):
+                for firing in self.engine.derive(rule, self.db):
+                    row = firing.values
+                    if table.key_of(row) in keys and table.current(row) is None:
+                        self._queue.append(("insert", predicate, row))
+
+    def _insertion_round(self, ops: list[tuple[str, str, tuple]]) -> None:
+        delta: dict[str, list[tuple]] = {}
+        for _, predicate, row in ops:
+            table = self.db.table(predicate)
+            previous = table.current(row)
+            if previous is not None and previous != row:
+                # keyed displacement: retract the displaced row's
+                # consequences first, then retry the insertion; the key is
+                # remembered so a later retraction of the winner re-derives
+                # the losers (their support counts are destroyed here)
+                self._displaced.setdefault(predicate, set()).add(table.key_of(row))
+                self._queue.append(("displace", predicate, previous))
+                self._queue.append(("insert", predicate, row))
+                continue
+            changed, _ = table.upsert(row)
+            self.stats.derivations += 1
+            if changed:
+                delta.setdefault(predicate, []).append(row)
+                self._mark_dirty(predicate)
+        if not delta:
+            return
+        view = DeltaIndex(delta)
+        seen_rules: set[int] = set()
+        for predicate in delta:
+            for rule in self._triggers.get(predicate, ()):
+                if id(rule) in seen_rules:
+                    continue
+                seen_rules.add(id(rule))
+                for firing in self.engine.derive(rule, self.db, delta=view):
+                    self._queue.append(("insert", firing.predicate, firing.values))
+        # insertions into negated predicates block bindings that relied on
+        # their absence
+        self._fire_negation_deltas(delta, retracting=True)
+
+    # ------------------------------------------------------------------
+    # Aggregate (view) rules: recompute and diff, per stratum
+    # ------------------------------------------------------------------
+    def _view_sweep(self) -> None:
+        if not self._view_order:
+            return
+        for _ in range(self.max_rounds):
+            progressed = False
+            for rule in self._view_order:
+                rid = id(rule)
+                body_tick = max(
+                    (
+                        self._dirty.get(lit.predicate, 0)
+                        for lit in rule.body_literals
+                    ),
+                    default=0,
+                )
+                if rid in self._view_memo and body_tick <= self._view_seen.get(rid, -1):
+                    continue
+                self._view_seen[rid] = self._tick
+                self.stats.view_recomputes += 1
+                firings = self.engine.fire_rule(rule, self.db)
+                added, removed, rows = diff_rows(
+                    self._view_memo.get(rid, set()), (f.values for f in firings)
+                )
+                self._view_memo[rid] = rows
+                if not added and not removed:
+                    continue
+                progressed = True
+                for row in removed:
+                    self._queue.append(("retract", rule.head.predicate, row))
+                for row in added:
+                    self._queue.append(("insert", rule.head.predicate, row))
+                self._settle_counting()
+            if not progressed:
+                return
+        raise NDlogError(
+            "incremental evaluation did not reach a fixpoint (view sweep bound "
+            "exceeded)"
+        )
 
 
 def evaluate(

@@ -11,7 +11,14 @@ A :class:`Table` stores ground tuples for one predicate, with:
 * **hash indexes** on argument positions — built lazily the first time a
   join probes a position set, then maintained incrementally on every
   insert/replace/delete/expiry.  Indexes are what let the evaluators join
-  body literals by probing instead of scanning whole relations.
+  body literals by probing instead of scanning whole relations;
+* **derivation counts** — every row carries the number of supports
+  (derivations/deliveries) observed for it.  :meth:`Table.upsert`
+  increments the count of the current row, :meth:`Table.release`
+  decrements it and reports when the last support is gone, and the
+  incremental-deletion machinery (:class:`~repro.ndlog.seminaive.
+  IncrementalEvaluator`, the distributed engine's retraction rounds) uses
+  the two to decide when a derived tuple must actually be retracted.
 
 A :class:`Database` is a collection of tables keyed by predicate name, the
 unit of state held by the centralized evaluator and by each node of the
@@ -76,6 +83,8 @@ class Table:
         self.lifetime = lifetime
         self.max_size = max_size
         self._rows: "OrderedDict[tuple, StoredTuple]" = OrderedDict()
+        #: primary key → number of supports observed for the current row
+        self._counts: dict[tuple, int] = {}
         #: positions → {values-at-positions → {primary key → row}}
         self._indexes: dict[tuple[int, ...], dict[tuple, dict[tuple, tuple]]] = {}
 
@@ -132,16 +141,25 @@ class Table:
         existing = self._rows.get(key)
         self._rows[key] = StoredTuple(row, now, expires)
         if existing is None:
+            self._counts[key] = 1
             self._index_add(key, row)
             if len(self._rows) > self.max_size:
                 # FIFO eviction of the oldest entry that is not the new one
                 oldest_key = next(iter(self._rows))
                 if oldest_key != key:
                     evicted = self._rows.pop(oldest_key)
+                    self._counts.pop(oldest_key, None)
                     self._index_remove(oldest_key, evicted.values)
             return True, None
         if existing.values == row:
+            # another support for the same row (a duplicate derivation or a
+            # soft-state re-announcement): count it
+            self._counts[key] = self._counts.get(key, 0) + 1
             return False, existing.values
+        # key re-bound to different values: the new row starts a fresh
+        # support count (the caller is responsible for retracting the
+        # displaced row's consequences when retraction semantics are on)
+        self._counts[key] = 1
         self._index_remove(key, existing.values)
         self._index_add(key, row)
         return True, existing.values
@@ -152,6 +170,52 @@ class Table:
         stored = self._rows.get(self.key_of(tuple(values)))
         return stored.values if stored is not None else None
 
+    def count_of(self, values: Sequence[object]) -> int:
+        """Supports observed for the row stored under the key of ``values``."""
+
+        return self._counts.get(self.key_of(tuple(values)), 0)
+
+    def refresh(self, values: Sequence[object], now: float) -> bool:
+        """Extend the lifetime of an identical stored row without counting.
+
+        A pure soft-state refresh is not a new derivation, so it must not
+        inflate the row's support count the way :meth:`upsert` would.
+        Returns ``True`` when a matching row was present and refreshed.
+        """
+
+        row = tuple(values)
+        key = self._key_getter(row)
+        stored = self._rows.get(key)
+        if stored is None or stored.values != row:
+            return False
+        lifetime = self.lifetime
+        expires = now + lifetime if lifetime != _INF else _INF
+        self._rows[key] = StoredTuple(row, now, expires)
+        return True
+
+    def release(self, values: Sequence[object]) -> bool:
+        """Drop one support of the stored row equal to ``values``.
+
+        Decrements the derivation count; returns ``True`` exactly when the
+        last support was released, i.e. the caller must now retract the row
+        (the row itself is left in place so retraction joins can still read
+        it — remove it with :meth:`delete` once downstream rules have fired).
+        A release of a row that is absent or was replaced is a stale
+        retraction and is ignored.
+        """
+
+        row = tuple(values)
+        key = self._key_getter(row)
+        stored = self._rows.get(key)
+        if stored is None or stored.values != row:
+            return False
+        remaining = self._counts.get(key, 1) - 1
+        if remaining > 0:
+            self._counts[key] = remaining
+            return False
+        self._counts[key] = 0
+        return True
+
     def delete(self, values: Sequence[object]) -> bool:
         """Delete a tuple (by key).  Returns ``True`` if present."""
 
@@ -159,8 +223,29 @@ class Table:
         stored = self._rows.pop(key, None)
         if stored is None:
             return False
+        self._counts.pop(key, None)
         self._index_remove(key, stored.values)
         return True
+
+    def row_expired(self, values: Sequence[object], now: float) -> bool:
+        """Is the stored row equal to ``values`` past its lifetime?
+
+        Used by the retraction pipeline to re-check a queued expiry when it
+        is actually processed (a refresh in between un-expires the row).
+        """
+
+        row = tuple(values)
+        stored = self._rows.get(self.key_of(row))
+        return stored is not None and stored.values == row and stored.is_expired(now)
+
+    def expired(self, now: float) -> list[tuple]:
+        """Soft-state rows whose lifetime has elapsed, **without** removing
+        them (the retraction pipeline fires deletion joins against the old
+        database before physically deleting)."""
+
+        if not self.is_soft_state:
+            return []
+        return [st.values for st in self._rows.values() if st.is_expired(now)]
 
     def expire(self, now: float) -> list[tuple]:
         """Remove expired soft-state tuples, returning the removed rows."""
@@ -172,11 +257,13 @@ class Table:
             if stored.is_expired(now):
                 removed.append(stored.values)
                 del self._rows[key]
+                self._counts.pop(key, None)
                 self._index_remove(key, stored.values)
         return removed
 
     def clear(self) -> None:
         self._rows.clear()
+        self._counts.clear()
         for positions in self._indexes:
             self._indexes[positions] = {}
 
@@ -327,6 +414,18 @@ class Database:
     def delete(self, predicate: str, values: Sequence[object]) -> bool:
         return self.table(predicate).delete(values)
 
+    def release(self, predicate: str, values: Sequence[object]) -> bool:
+        """Drop one support of a stored row (see :meth:`Table.release`)."""
+
+        if predicate not in self._tables:
+            return False
+        return self._tables[predicate].release(values)
+
+    def count_of(self, predicate: str, values: Sequence[object]) -> int:
+        if predicate not in self._tables:
+            return 0
+        return self._tables[predicate].count_of(values)
+
     def rows(self, predicate: str) -> list[tuple]:
         return self.table(predicate).rows() if predicate in self._tables else []
 
@@ -381,6 +480,8 @@ class Database:
             )
             for stored in table.stored():
                 new.insert(stored.values, stored.inserted_at)
+                key = new.key_of(stored.values)
+                new._counts[key] = table._counts.get(key, 1)
             out._tables[predicate] = new
         return out
 

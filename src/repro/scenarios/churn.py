@@ -16,7 +16,13 @@ from ..workloads.events import WorkloadScript
 
 
 def _distinct_links(topology: Topology, rng: random.Random) -> list[tuple]:
-    """Up links as undirected pairs, shuffled deterministically."""
+    """Up links as undirected pairs, shuffled deterministically.
+
+    The pair list is pinned to a sorted order before the seeded shuffle so
+    the schedule is a pure function of (topology, seed) — independent of
+    ``PYTHONHASHSEED`` or of how the topology's link dictionary happened to
+    be populated.
+    """
 
     seen: set[frozenset] = set()
     pairs: list[tuple] = []
@@ -26,6 +32,7 @@ def _distinct_links(topology: Topology, rng: random.Random) -> list[tuple]:
             continue
         seen.add(key)
         pairs.append((link.src, link.dst))
+    pairs.sort(key=repr)
     rng.shuffle(pairs)
     return pairs
 

@@ -62,31 +62,23 @@ class WorkloadScript:
     # Application
     # ------------------------------------------------------------------
     def apply_to_engine(self, engine: DistributedEngine) -> None:
-        """Schedule every event on a distributed engine (before ``run``)."""
+        """Schedule every event on a distributed engine (before ``run``).
+
+        The failure and restore paths are symmetric: both perturb the
+        topology, and both skip database changes when the engine has no
+        ``link_predicate`` configured (restoration used to inject under a
+        guessed ``"link"`` name while failure silently no-opped).
+        """
 
         for event in self.events:
             if event.kind == "fail_link":
                 engine.schedule_link_failure(event.src, event.dst, event.at)
+            elif event.kind == "restore_link":
+                engine.schedule_link_restore(event.src, event.dst, event.at)
             elif event.kind == "set_cost":
                 engine.schedule_cost_change(event.src, event.dst, event.cost or 1.0, event.at)
             elif event.kind == "inject_fact":
                 engine.schedule_fact(event.predicate or "", event.values or (), event.at)
-            elif event.kind == "restore_link":
-                # restoration re-injects the link facts once the topology is up
-                def make_restore(src=event.src, dst=event.dst):
-                    def restore() -> None:
-                        for link in engine.topology.restore_link(src, dst):
-                            engine.schedule_fact(
-                                engine.config.link_predicate or "link",
-                                link.as_fact(),
-                                engine.scheduler.now,
-                            )
-
-                    return restore
-
-                from ..dn.events import Event
-
-                engine.scheduler.schedule_at(event.at, Event("restore", make_restore(), "restore"))
 
     def __len__(self) -> int:
         return len(self.events)
@@ -103,7 +95,9 @@ def random_failure_workload(
     """A script failing ``failures`` random distinct links at regular intervals."""
 
     rng = random.Random(seed)
-    links = [(link.src, link.dst) for link in topology.up_links()]
+    links = sorted(
+        ((link.src, link.dst) for link in topology.up_links()), key=repr
+    )
     rng.shuffle(links)
     chosen: list[tuple] = []
     seen: set[frozenset] = set()

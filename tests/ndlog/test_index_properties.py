@@ -198,3 +198,60 @@ class TestUnhashableRows:
         table.insert((1, ["v"]))
         assert table.delete((1, ["v"]))
         assert table.rows() == []
+
+    def test_insert_delete_probe_round_trip_with_unhashable_rows(self):
+        # insert → delete → probe cycles must keep the index and the
+        # scan-fallback bookkeeping consistent: unhashable rows never enter
+        # the index, hashable rows must stay probe-able throughout
+        table = Table("p", keys=(0,))
+        table.probe((1,), ("seed",))  # index exists before any mutation
+        table.insert((1, "a"))
+        table.insert((2, ["u1"]))
+        table.insert((3, "a"))
+        table.insert((4, ["u2"]))
+        assert sorted(table.probe((1,), ("a",))) == [(1, "a"), (3, "a")]
+        assert table.delete((2, ["u1"]))
+        assert sorted(table.probe((1,), ("a",))) == [(1, "a"), (3, "a")]
+        assert (2, ["u1"]) not in table.rows()
+        # scan fallback (unhashable probe) sees exactly the surviving rows
+        with pytest.raises(TypeError):
+            table.probe((1,), (["u2"],))
+        assert (4, ["u2"]) in table.rows()
+        assert table.delete((4, ["u2"]))
+        assert (4, ["u2"]) not in table.rows()
+        # re-insert after delete round-trips cleanly
+        table.insert((2, ["u1"]))
+        assert (2, ["u1"]) in table
+        assert table.delete((2, ["u1"]))
+        assert sorted(table.rows()) == [(1, "a"), (3, "a")]
+
+    def test_keyed_replacement_between_hashable_and_unhashable(self):
+        table = Table("p", keys=(0,))
+        table.probe((1,), ("x",))
+        table.insert((1, "x"))
+        table.insert((1, ["now-unhashable"]))  # replaces the indexed row
+        assert table.probe((1,), ("x",)) == []
+        assert (1, ["now-unhashable"]) in table
+        table.insert((1, "y"))  # back to an indexable row
+        assert table.probe((1,), ("y",)) == [(1, "y")]
+        assert table.delete((1, "y"))
+        assert table.rows() == []
+        assert table.probe((1,), ("y",)) == []
+
+    def test_release_and_counts_with_unhashable_values(self):
+        table = Table("p", keys=(0,))
+        table.insert((1, ["v"]))
+        table.insert((1, ["v"]))  # second support for the same row
+        assert table.count_of((1, ["v"])) == 2
+        assert not table.release((1, ["v"]))
+        assert table.release((1, ["v"]))
+        assert table.delete((1, ["v"]))
+        assert table.rows() == []
+
+    def test_expiry_of_unhashable_rows_with_index(self):
+        table = Table("soft", keys=(0,), lifetime=1.0)
+        table.probe((1,), ("x",))
+        table.insert((1, ["v"]), now=0.0)
+        table.insert((2, "x"), now=0.5)
+        assert table.expire(1.2) == [(1, ["v"])]
+        assert table.probe((1,), ("x",)) == [(2, "x")]

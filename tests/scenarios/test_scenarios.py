@@ -101,6 +101,45 @@ class TestChurn:
         assert trace.quiescent
         assert any(c.kind == "delete" for c in trace.state_changes)
 
+    @pytest.mark.parametrize("hash_seed", ["0", "1", "424242"])
+    def test_schedules_identical_across_hash_seeds(self, hash_seed):
+        # the schedule must be a pure function of (topology, seed): run the
+        # generation under different PYTHONHASHSEED values in subprocesses
+        # and require byte-identical event sequences
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.scenarios import generate_scenario\n"
+            "from repro.scenarios import cost_churn_schedule, link_churn_schedule\n"
+            "for family in ('tree', 'power_law'):\n"
+            "    topo = generate_scenario(family, size=25, seed=13).topology\n"
+            "    for schedule in (\n"
+            "        link_churn_schedule(topo, events=6, seed=7, restore_delay=1.5),\n"
+            "        cost_churn_schedule(topo, events=6, seed=7),\n"
+            "    ):\n"
+            "        for e in schedule.events:\n"
+            "            print(e.at, e.kind, e.src, e.dst, e.cost)\n"
+        )
+        env = dict(os.environ)
+        src_dir = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src_dir)
+        outputs = []
+        for seed in ("77", hash_seed):
+            env["PYTHONHASHSEED"] = seed
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
+        # 2 families × (6 fails + 6 restores + 6 cost changes)
+        assert outputs[0].count("\n") == 2 * 18
+
 
 class TestPolicies:
     @pytest.mark.parametrize("kind", POLICY_KINDS)
