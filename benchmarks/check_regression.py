@@ -22,8 +22,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
+import os
 import statistics
+import subprocess
 import sys
 
 
@@ -31,6 +34,47 @@ def load_timings(path: str) -> dict[str, float]:
     with open(path) as handle:
         data = json.load(handle)
     return {name: entry["min"] for name, entry in data.items()}
+
+
+def git_sha() -> str:
+    env_sha = os.environ.get("GITHUB_SHA")
+    if env_sha:
+        return env_sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True, check=True
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def write_results(path: str, current_file: str) -> None:
+    """Append-style perf trajectory point: suite medians + SHA + timestamp.
+
+    Written at the repo root on every CI run so the committed history plus
+    CI artifacts form a performance trajectory of the suite over time.
+    """
+
+    with open(current_file) as handle:
+        data = json.load(handle)
+    point = {
+        "git_sha": git_sha(),
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "benchmarks": {
+            name: {
+                "median": entry.get("median", entry["min"]),
+                "min": entry["min"],
+                "rounds": entry.get("rounds", 1),
+            }
+            for name, entry in sorted(data.items())
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(point, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote perf trajectory point ({len(point['benchmarks'])} suites) to {path}")
 
 
 def compare(
@@ -97,6 +141,13 @@ def main(argv: list[str] | None = None) -> int:
         default=0.001,
         help="ignore benchmarks faster than this (noise floor)",
     )
+    parser.add_argument(
+        "--write-results",
+        metavar="PATH",
+        default=None,
+        help="also write a perf-trajectory point (suite medians + git SHA + "
+        "timestamp) to PATH, e.g. the repo-root BENCH_results.json",
+    )
     args = parser.parse_args(argv)
     try:
         current = load_timings(args.current)
@@ -104,6 +155,8 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if args.write_results:
+        write_results(args.write_results, args.current)
     failures = compare(
         current,
         baseline,

@@ -39,6 +39,7 @@ def pytest_sessionfinish(session, exitstatus):
         results[bench.fullname] = {
             "min": bench.stats.min,
             "mean": bench.stats.mean,
+            "median": bench.stats.median,
             "rounds": bench.stats.rounds,
         }
     output = pathlib.Path(config.getoption("--benchmark-ci-output"))

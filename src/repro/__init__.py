@@ -19,7 +19,11 @@ implementation of network protocols in one logic-based framework:
 * :mod:`repro.protocols` — the protocol library (path vector, distance
   vector, link state, heartbeat);
 * :mod:`repro.workloads` / :mod:`repro.analysis` — topology and event
-  generators, and experiment metrics.
+  generators, and experiment metrics;
+* :mod:`repro.scenarios` — scalable scenario generation (families × sizes ×
+  policies × churn × loss);
+* :mod:`repro.harness` — the parallel experiment-campaign orchestrator with
+  runtime invariant monitors (``fvn-campaign`` CLI).
 
 Quickstart::
 
@@ -38,9 +42,11 @@ __all__ = [
     "bgp",
     "dn",
     "fvn",
+    "harness",
     "logic",
     "metarouting",
     "ndlog",
     "protocols",
+    "scenarios",
     "workloads",
 ]

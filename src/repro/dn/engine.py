@@ -60,9 +60,10 @@ recovery, cost changes) plus soft-state expiry and periodic refresh.
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional
+from typing import Iterable, Mapping, Optional, Protocol
 
 from ..logic.bmc import FunctionRegistry
 from ..ndlog.aggregates import diff_rows
@@ -108,6 +109,27 @@ class EngineConfig:
     retract_derivations: bool = True
 
 
+class EngineMonitor(Protocol):
+    """Runtime invariant monitor attached to an engine.
+
+    Monitors observe every recorded state change (``on_change``) and are
+    asked to evaluate their invariants whenever a node reaches a local
+    fixpoint (``on_settle``) — the points at which FVN safety properties are
+    meaningful during execution.  See :mod:`repro.fvn.monitors` for the
+    property-derived implementations.
+    """
+
+    def attach(self, engine: "DistributedEngine") -> None: ...
+
+    def on_change(
+        self, time: float, node: NodeId, predicate: str, values: tuple, kind: str
+    ) -> None: ...
+
+    def on_settle(self, time: float, node: NodeId) -> None: ...
+
+    def finalize(self, time: float) -> None: ...
+
+
 class DistributedEngine:
     """Runs an NDlog program over a simulated network."""
 
@@ -135,8 +157,23 @@ class DistributedEngine:
         # compile the localized program once; every node shares the plans
         self.rule_engine.precompile(self.program.rules)
         self.scheduler = EventScheduler()
-        self.channel = Channel(topology, seed=self.config.seed)
+        # Resolve the loss channel's seed once so every run — including
+        # seed=None "nondeterministic" ones — is reproducible from its
+        # trace: the drawn seed is recorded and can be fed back in.
+        if self.config.seed is None:
+            self.channel_seed: int = random.Random().randrange(2**63)
+        else:
+            self.channel_seed = self.config.seed
+        self.channel = Channel(topology, seed=self.channel_seed)
         self.trace = Trace()
+        self.trace.seeds = {
+            "engine_config": self.config.seed,
+            "channel": self.channel_seed,
+        }
+        #: runtime invariant monitors (see :class:`EngineMonitor`); empty by
+        #: default so the hot paths pay a single truthiness check
+        self.monitors: list[EngineMonitor] = []
+        self._per_tuple_depth = 0
         self.nodes: dict[NodeId, Node] = {
             node_id: Node(node_id, self.program, rule_engine=self.rule_engine)
             for node_id in topology.nodes
@@ -175,6 +212,45 @@ class DistributedEngine:
                     self._negation_triggers.setdefault(predicate, []).append(variant)
                 if not rule.head.has_aggregate:
                     self._head_rules.setdefault(rule.head.predicate, []).append(rule)
+
+    # ------------------------------------------------------------------
+    # Runtime monitors
+    # ------------------------------------------------------------------
+    def attach_monitor(self, monitor: EngineMonitor) -> None:
+        """Attach a runtime invariant monitor to this engine.
+
+        The monitor sees every state change as it is recorded and is asked
+        to check its invariants whenever a node settles (reaches a local
+        fixpoint for the current timestamp).  Attach monitors before
+        seeding/running so they observe the whole execution.
+        """
+
+        monitor.attach(self)
+        self.monitors.append(monitor)
+
+    def _record_change(
+        self, time: float, node_id: NodeId, predicate: str, values: tuple, kind: str
+    ) -> None:
+        self.trace.record_change(time, node_id, predicate, values, kind)
+        for monitor in self.monitors:
+            monitor.on_change(time, node_id, predicate, values, kind)
+
+    def _notify_settle(self, node_id: NodeId) -> None:
+        now = self.scheduler.now
+        for monitor in self.monitors:
+            monitor.on_settle(now, node_id)
+
+    def finalize_monitors(self) -> None:
+        """Run every monitor's final full-state check at the current time.
+
+        Call once after the last :meth:`run` segment; afterwards each
+        monitor's active violations describe the final state, so they agree
+        with post-hoc property checks by construction.
+        """
+
+        now = self.scheduler.now
+        for monitor in self.monitors:
+            monitor.finalize(now)
 
     # ------------------------------------------------------------------
     # Seeding
@@ -289,10 +365,18 @@ class DistributedEngine:
     def _enqueue(self, node_id: NodeId, op: tuple[str, str, tuple]) -> None:
         node = self.nodes[node_id]
         if not self.config.batch_deltas:
-            if op[0] == "insert" and not self.config.retract_derivations:
-                self._apply_and_fire(node, op[1], op[2])
-            else:
-                self._apply_per_tuple(node, op)
+            # per-tuple mode recurses synchronously through local firings;
+            # the node settles when the outermost application returns
+            self._per_tuple_depth += 1
+            try:
+                if op[0] == "insert" and not self.config.retract_derivations:
+                    self._apply_and_fire(node, op[1], op[2])
+                else:
+                    self._apply_per_tuple(node, op)
+            finally:
+                self._per_tuple_depth -= 1
+            if self._per_tuple_depth == 0 and self.monitors:
+                self._notify_settle(node_id)
             return
         self._pending.setdefault(node_id, deque()).append(op)
         if node_id in self._draining:
@@ -321,6 +405,8 @@ class DistributedEngine:
             self._drain(self.nodes[node_id])
         finally:
             self._draining.discard(node_id)
+        if self.monitors:
+            self._notify_settle(node_id)
 
     def _apply_insert(self, node: Node, predicate: str, values: tuple) -> bool:
         """Insert one tuple into a node's store, recording the change."""
@@ -330,7 +416,7 @@ class DistributedEngine:
         if not changed:
             return False
         kind = "replace" if table.keys else "insert"
-        self.trace.record_change(now, node.id, predicate, values, kind)
+        self._record_change(now, node.id, predicate, values, kind)
         return True
 
     def _dispatch(self, node: Node, firings) -> None:
@@ -476,10 +562,29 @@ class DistributedEngine:
             decided: list[tuple[str, tuple, str]] = []
             displacing: set[tuple[str, tuple]] = set()
             seen: set[tuple[str, tuple]] = set()
+            pending_inserts: Optional[set[tuple]] = None
             for kind, predicate, values in del_ops:
                 table = node.db.table(predicate)
                 row = tuple(values)
                 if kind == "retract":
+                    if table.current(row) != row:
+                        if pending_inserts is None:
+                            pending_inserts = {
+                                (op[1], row_key(tuple(op[2])))
+                                for op in requeue
+                                if op[0] == "insert"
+                            }
+                        if (predicate, row_key(row)) in pending_inserts:
+                            # the retracted row is not the stored one under
+                            # its key, but its insertion is still pending in
+                            # this settle: a keyed displacement re-queued the
+                            # insert behind us (jumping it over this
+                            # retract), so the retract must defer until the
+                            # insert lands or the pair cancels — dropping it
+                            # as stale would let the re-insert resurrect a
+                            # withdrawn derivation
+                            requeue.append((kind, predicate, values))
+                            continue
                     if not table.release(row):
                         continue
                 elif kind == "expire":
@@ -513,7 +618,7 @@ class DistributedEngine:
                             marked.discard(key)
                             refill.setdefault(predicate, set()).add(key)
                     node.delete(predicate, row)
-                    self.trace.record_change(now, node.id, predicate, row, kind)
+                    self._record_change(now, node.id, predicate, row, kind)
                 changed.update(removed)
                 self._dispatch_retractions(node, retractions)
                 # rows leaving a negated predicate enable blocked bindings
@@ -664,6 +769,13 @@ class DistributedEngine:
             decl = self.program.materialized.get(predicate)
             if decl is None or not decl.is_soft_state:
                 continue
+            if predicate == self.config.link_predicate:
+                link = self.topology.link(values[0], values[1])
+                if link is not None and not link.up:
+                    # a failed link is neither refreshed nor re-announced —
+                    # re-injecting its fact would resurrect the dead link
+                    # (cf. schedule_cost_change); it ships again on restore
+                    continue
             table = self.nodes[node_id].db.table(predicate)
             if values in table:
                 # pure refresh: extend the lifetime without re-firing rules
@@ -696,7 +808,9 @@ class DistributedEngine:
                 for predicate, rows in removed.items():
                     for row in rows:
                         node.stats.tuples_deleted += 1
-                        self.trace.record_change(now, node.id, predicate, row, "expire")
+                        self._record_change(now, node.id, predicate, row, "expire")
+                if removed and self.monitors:
+                    self._notify_settle(node.id)
         if (
             not self.scheduler.is_empty
             or self.config.refresh_interval
@@ -736,9 +850,13 @@ class DistributedEngine:
                     continue
                 node = self.nodes[link.src]
                 if node.delete(self.config.link_predicate, link.as_fact()):
-                    self.trace.record_change(
+                    self._record_change(
                         self.scheduler.now, link.src, self.config.link_predicate, link.as_fact(), "delete"
                     )
+                    if self.monitors:
+                        # monotonic deletions bypass the drain loop, so the
+                        # node's settle point is right here
+                        self._notify_settle(link.src)
 
         self.scheduler.schedule_at(at, Event("link_failure", fail, f"{src}-{dst} down"))
 

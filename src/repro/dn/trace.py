@@ -57,6 +57,12 @@ class Trace:
     events_processed: int = 0
     finished_at: float = 0.0
     quiescent: bool = False
+    #: Effective RNG seeds of the run (``engine_config`` is the seed the
+    #: caller asked for — possibly None — and ``channel`` the seed the loss
+    #: channel actually used; harness runs add ``scenario``).  Replaying a
+    #: run with ``EngineConfig(seed=trace.seeds["channel"])`` reproduces the
+    #: exact loss/delivery pattern even when the original seed was None.
+    seeds: dict = field(default_factory=dict)
 
     # -- recording ---------------------------------------------------------
     def record_change(

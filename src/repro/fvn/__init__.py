@@ -38,6 +38,20 @@ from .modelcheck import (
     check_invariant,
     check_reachable,
 )
+from .monitors import (
+    MONITOR_KINDS,
+    PATH_VECTOR_SCHEMA,
+    POLICY_SCHEMA,
+    MonitorSchema,
+    MonitorViolation,
+    RuntimeMonitor,
+    build_monitor,
+    monitor_for_property,
+    monitors_from_properties,
+    posthoc_violations,
+    schema_for_program,
+    standard_monitors,
+)
 from .ndlog_to_logic import (
     AggregateAxioms,
     aggregate_rule_axioms,
@@ -60,6 +74,18 @@ from .verification import PropertyVerdict, VerificationManager, VerificationRepo
 __all__ = [
     "AggregateAxioms",
     "Component",
+    "MONITOR_KINDS",
+    "MonitorSchema",
+    "MonitorViolation",
+    "PATH_VECTOR_SCHEMA",
+    "POLICY_SCHEMA",
+    "RuntimeMonitor",
+    "build_monitor",
+    "monitor_for_property",
+    "monitors_from_properties",
+    "posthoc_violations",
+    "schema_for_program",
+    "standard_monitors",
     "ComponentConstraint",
     "ComponentError",
     "CompositeComponent",

@@ -1,0 +1,154 @@
+"""The ``fvn-campaign`` command-line interface.
+
+::
+
+    fvn-campaign run examples/campaign_smoke.toml --workers 4
+    fvn-campaign report campaigns/campaign-smoke
+    fvn-campaign diff campaigns/a campaigns/b
+
+(equivalently ``python -m repro.harness ...``).  ``run`` executes a campaign
+spec — resuming a previous partial campaign of the same output directory
+unless ``--fresh`` — then prints the summary table.  ``report`` re-renders
+the table of an existing campaign directory.  ``diff`` compares the
+deterministic per-run results of two campaign directories and exits
+non-zero when they differ.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .records import RunRecord
+from .report import diff_campaigns, format_summary
+from .runner import run_campaign
+from .spec import SpecError, load_spec
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fvn-campaign",
+        description=(
+            "Parallel experiment-campaign orchestrator for the FVN "
+            "reproduction: sweep scenario grids over the distributed NDlog "
+            "engine with runtime invariant monitors attached."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser(
+        "run", help="execute a campaign spec (.toml or .json)"
+    )
+    run_parser.add_argument("spec", help="path to the campaign spec file")
+    run_parser.add_argument(
+        "--out",
+        default=None,
+        help="output directory (default: campaigns/<spec name>)",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default: 1)"
+    )
+    run_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard previous artifacts instead of resuming",
+    )
+    run_parser.add_argument(
+        "--fail-on-violations",
+        action="store_true",
+        help="exit 2 if any run recorded any invariant violation",
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+
+    report_parser = sub.add_parser("report", help="summarize a campaign directory")
+    report_parser.add_argument("out_dir", help="campaign output directory")
+
+    diff_parser = sub.add_parser(
+        "diff", help="compare the deterministic results of two campaigns"
+    )
+    diff_parser.add_argument("a", help="first campaign directory")
+    diff_parser.add_argument("b", help="second campaign directory")
+    return parser
+
+
+def _progress(record: RunRecord, completed: int, total: int) -> None:
+    status = "quiescent" if record.quiescent else "budget"
+    violations = record.violation_count
+    print(
+        f"[{completed}/{total}] {record.run_id}: {status}, "
+        f"{record.messages} msgs, conv={record.convergence_time:.3f}s"
+        + (f", {violations} violations" if violations else ""),
+        flush=True,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    out_dir = Path(args.out) if args.out else Path("campaigns") / spec.name
+    result = run_campaign(
+        spec,
+        out_dir,
+        workers=args.workers,
+        resume=not args.fresh,
+        progress=None if args.quiet else _progress,
+    )
+    print()
+    print(format_summary(out_dir))
+    print(f"\nartifacts: {out_dir}/{{ledger,results}}.jsonl, {out_dir}/summary.json")
+    if args.fail_on_violations and any(r.violation_count for r in result.records):
+        offenders = [r.run_id for r in result.records if r.violation_count]
+        print(
+            f"error: invariant violations in {len(offenders)} run(s): "
+            + ", ".join(offenders[:5])
+            + ("…" if len(offenders) > 5 else ""),
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        print(format_summary(args.out_dir))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    try:
+        differences = diff_campaigns(args.a, args.b)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not differences:
+        print(f"campaigns identical: {args.a} == {args.b}")
+        return 0
+    for line in differences[:50]:
+        print(line)
+    if len(differences) > 50:
+        print(f"... and {len(differences) - 50} more differences")
+    print(f"\ncampaigns differ: {len(differences)} difference(s)")
+    return 1
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    return _cmd_diff(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

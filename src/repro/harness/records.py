@@ -1,0 +1,212 @@
+"""Per-run records and campaign artifact files.
+
+Each executed run yields one :class:`RunRecord`.  The runner streams records
+to two JSONL artifacts:
+
+* ``ledger.jsonl`` — append-only, completion-ordered, includes wall-clock
+  timing.  This is the **resume journal**: a killed campaign re-reads it and
+  skips every run already on file (a torn final line from a hard kill is
+  tolerated and re-executed).
+* ``results.jsonl`` — written when the campaign finishes: one line per run
+  in descriptor order, holding only the *deterministic* fields (everything
+  except wall time) in canonical JSON.  Re-running the same spec produces a
+  byte-identical ``results.jsonl``, which is what ``fvn-campaign diff``
+  compares.
+
+``summary.json`` aggregates the campaign (per-cell means, violation totals,
+wall time, worker count).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Optional
+
+LEDGER_NAME = "ledger.jsonl"
+RESULTS_NAME = "results.jsonl"
+SUMMARY_NAME = "summary.json"
+SPEC_NAME = "spec.json"
+
+
+@dataclass
+class RunRecord:
+    """Everything observed about one campaign run."""
+
+    run_id: str
+    index: int
+    params: dict
+    seeds: dict
+    quiescent: bool
+    finished_at: float
+    convergence_time: float
+    events: int
+    messages: int
+    delivered_messages: int
+    dropped_messages: int
+    retraction_messages: int
+    retractions: int
+    state_changes: int
+    route_count: int
+    stale_routes: Optional[int]
+    missing_routes: Optional[int]
+    monitors: list = field(default_factory=list)
+    monitors_ok: bool = True
+    wall_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    def deterministic_dict(self) -> dict:
+        """The record without timing noise — byte-identical across re-runs."""
+
+        out = self.to_dict()
+        out.pop("wall_time", None)
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "index": self.index,
+            "params": self.params,
+            "seeds": self.seeds,
+            "quiescent": self.quiescent,
+            "finished_at": self.finished_at,
+            "convergence_time": self.convergence_time,
+            "events": self.events,
+            "messages": self.messages,
+            "delivered_messages": self.delivered_messages,
+            "dropped_messages": self.dropped_messages,
+            "retraction_messages": self.retraction_messages,
+            "retractions": self.retractions,
+            "state_changes": self.state_changes,
+            "route_count": self.route_count,
+            "stale_routes": self.stale_routes,
+            "missing_routes": self.missing_routes,
+            "monitors": self.monitors,
+            "monitors_ok": self.monitors_ok,
+            "wall_time": self.wall_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunRecord":
+        return cls(**{k: data.get(k) for k in cls.__dataclass_fields__})
+
+    # ------------------------------------------------------------------
+    @property
+    def first_violation_time(self) -> Optional[float]:
+        times = [
+            m["first_violation_time"]
+            for m in self.monitors
+            if m.get("first_violation_time") is not None
+        ]
+        return min(times) if times else None
+
+    @property
+    def violation_count(self) -> int:
+        return sum(m.get("violations", 0) for m in self.monitors)
+
+    @property
+    def active_violation_count(self) -> int:
+        return sum(m.get("active_at_end", 0) for m in self.monitors)
+
+
+def canonical_json(data) -> str:
+    """Deterministic single-line JSON (sorted keys, no stray whitespace)."""
+
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Ledger (resume journal)
+# ----------------------------------------------------------------------
+
+def append_ledger(path: Path, record: RunRecord) -> None:
+    with path.open("a") as handle:
+        handle.write(canonical_json(record.to_dict()) + "\n")
+        handle.flush()
+
+
+def read_ledger(path: Path) -> dict[str, RunRecord]:
+    """Completed runs by id; malformed (torn) lines are skipped."""
+
+    records: dict[str, RunRecord] = {}
+    if not path.exists():
+        return records
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                record = RunRecord.from_dict(data)
+            except (json.JSONDecodeError, TypeError):
+                continue  # torn tail of a killed campaign; re-run that one
+            if record.run_id is not None:
+                records[record.run_id] = record
+    return records
+
+
+# ----------------------------------------------------------------------
+# Deterministic results + summary
+# ----------------------------------------------------------------------
+
+def write_results(path: Path, records: Iterable[RunRecord]) -> None:
+    ordered = sorted(records, key=lambda r: r.index)
+    with path.open("w") as handle:
+        for record in ordered:
+            handle.write(canonical_json(record.deterministic_dict()) + "\n")
+
+
+def read_results(path: Path) -> list[RunRecord]:
+    records = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(RunRecord.from_dict(json.loads(line)))
+    return records
+
+
+def summarize(records: list[RunRecord]) -> dict:
+    """Campaign-level aggregates (deterministic; no wall time)."""
+
+    def cell_key(record: RunRecord) -> str:
+        params = record.params
+        return (
+            f"{params['family']}-{params['size']}"
+            f"-{params['policy'] or 'none'}-c{params['churn_events']}"
+            f"-l{params['loss']:g}-e{params['engine_index']}"
+        )
+
+    cells: dict[str, list[RunRecord]] = {}
+    for record in records:
+        cells.setdefault(cell_key(record), []).append(record)
+
+    def mean(values) -> float:
+        values = list(values)
+        return sum(values) / len(values) if values else 0.0
+
+    return {
+        "runs": len(records),
+        "quiescent": sum(1 for r in records if r.quiescent),
+        "violations": sum(r.violation_count for r in records),
+        "active_violations": sum(r.active_violation_count for r in records),
+        "runs_with_violations": sum(1 for r in records if r.violation_count),
+        "messages": sum(r.messages for r in records),
+        "retraction_messages": sum(r.retraction_messages for r in records),
+        "cells": {
+            key: {
+                "runs": len(group),
+                "quiescent": sum(1 for r in group if r.quiescent),
+                "mean_convergence_time": round(
+                    mean(r.convergence_time for r in group), 6
+                ),
+                "mean_messages": round(mean(r.messages for r in group), 2),
+                "violations": sum(r.violation_count for r in group),
+                "active_violations": sum(r.active_violation_count for r in group),
+                "stale_routes": sum(r.stale_routes or 0 for r in group),
+            }
+            for key, group in sorted(cells.items())
+        },
+    }

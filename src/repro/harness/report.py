@@ -1,0 +1,119 @@
+"""Campaign reporting: summary tables and artifact diffing.
+
+``fvn-campaign report`` renders the aggregated summary of a finished (or
+partially finished) campaign directory; ``fvn-campaign diff`` compares the
+deterministic per-run results of two campaign directories — the check behind
+the reproducibility guarantee that re-running a spec is byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .records import (
+    LEDGER_NAME,
+    RESULTS_NAME,
+    SUMMARY_NAME,
+    RunRecord,
+    read_ledger,
+    read_results,
+    summarize,
+)
+
+
+def load_records(out_dir: str | Path) -> list[RunRecord]:
+    """Records of a campaign directory (results file, else the ledger)."""
+
+    out_dir = Path(out_dir)
+    results = out_dir / RESULTS_NAME
+    if results.exists():
+        return read_results(results)
+    ledger = out_dir / LEDGER_NAME
+    if ledger.exists():
+        return sorted(read_ledger(ledger).values(), key=lambda r: r.index)
+    raise FileNotFoundError(
+        f"no {RESULTS_NAME} or {LEDGER_NAME} in {out_dir} — not a campaign directory"
+    )
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows), 1)
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(headers[i]).ljust(widths[i]) for i in range(len(headers))),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(row[i]).ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_summary(out_dir: str | Path) -> str:
+    """A human-readable campaign summary table."""
+
+    out_dir = Path(out_dir)
+    records = load_records(out_dir)
+    summary_path = out_dir / SUMMARY_NAME
+    if summary_path.exists():
+        summary = json.loads(summary_path.read_text())
+    else:
+        summary = summarize(records)
+    header = (
+        f"campaign {summary.get('campaign', out_dir.name)}: "
+        f"{summary['runs']} runs, {summary['quiescent']} quiescent, "
+        f"{summary['violations']} violations "
+        f"({summary['active_violations']} persisting at end)"
+    )
+    if "wall_time" in summary:
+        header += (
+            f", {summary['wall_time']:.1f}s wall "
+            f"({summary.get('workers', 1)} workers, "
+            f"{summary.get('executed', summary['runs'])} executed"
+            f" / {summary.get('resumed', 0)} resumed)"
+        )
+    rows = [
+        [
+            cell,
+            stats["runs"],
+            stats["quiescent"],
+            f"{stats['mean_convergence_time']:.3f}",
+            f"{stats['mean_messages']:.0f}",
+            stats["violations"],
+            stats["active_violations"],
+            stats["stale_routes"],
+        ]
+        for cell, stats in summary["cells"].items()
+    ]
+    table = _table(
+        ["cell", "runs", "quiesc", "conv(s)", "msgs", "viol", "active", "stale"],
+        rows,
+    )
+    return header + "\n\n" + table
+
+
+def diff_campaigns(dir_a: str | Path, dir_b: str | Path) -> list[str]:
+    """Differences between two campaigns' deterministic results.
+
+    Returns an empty list when the campaigns are identical run-for-run.
+    """
+
+    a_records = {r.run_id: r for r in load_records(dir_a)}
+    b_records = {r.run_id: r for r in load_records(dir_b)}
+    differences: list[str] = []
+    for run_id in sorted(set(a_records) - set(b_records)):
+        differences.append(f"{run_id}: only in {dir_a}")
+    for run_id in sorted(set(b_records) - set(a_records)):
+        differences.append(f"{run_id}: only in {dir_b}")
+    for run_id in sorted(set(a_records) & set(b_records)):
+        a, b = a_records[run_id].deterministic_dict(), b_records[run_id].deterministic_dict()
+        if a == b:
+            continue
+        fields = [key for key in a if a.get(key) != b.get(key)]
+        for key in fields:
+            differences.append(f"{run_id}: {key}: {a.get(key)!r} != {b.get(key)!r}")
+    return differences

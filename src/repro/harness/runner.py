@@ -1,0 +1,280 @@
+"""Process-parallel, resumable campaign execution.
+
+:func:`execute_run` is the self-contained worker: it materializes one
+:class:`~repro.harness.spec.RunDescriptor` through :mod:`repro.scenarios`,
+executes it on :class:`~repro.dn.engine.DistributedEngine` with the
+requested runtime invariant monitors attached, and returns a
+:class:`~repro.harness.records.RunRecord` as plain data.  Because the
+descriptor carries every seed, a run's result is a pure function of its
+descriptor — the same whether it executes inline, in a worker process, or
+in a resumed campaign.
+
+:func:`run_campaign` drives a descriptor list through a
+``ProcessPoolExecutor`` (chunked, results streamed back in descriptor
+order), appending each completed record to the campaign's ledger as it
+lands.  A killed campaign therefore restarts exactly where it stopped:
+resume re-reads the ledger, skips completed runs, and executes the rest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..bgp.generator import policy_path_vector_program
+from ..dn.engine import DistributedEngine, EngineConfig
+from ..fvn.monitors import MonitorSchema, build_monitor, schema_for_program
+from ..ndlog.ast import MaterializeDecl, Program
+from ..protocols.pathvector import path_vector_program
+from ..scenarios.generator import Scenario, generate_scenario
+from .records import (
+    LEDGER_NAME,
+    RESULTS_NAME,
+    SPEC_NAME,
+    SUMMARY_NAME,
+    RunRecord,
+    append_ledger,
+    read_ledger,
+    summarize,
+    write_results,
+)
+from .spec import CampaignSpec, RunDescriptor
+
+
+def build_program(descriptor: RunDescriptor) -> Program:
+    """The run's NDlog program: plain path-vector, or the generated policy
+    path-vector when the descriptor carries a policy kind, with the
+    descriptor's soft-state lifetime overrides applied."""
+
+    if descriptor.policy is None:
+        program = path_vector_program()
+    else:
+        program = policy_path_vector_program()
+    for predicate, lifetime in descriptor.soft_state:
+        decl = program.materialized.get(predicate)
+        if decl is None:
+            raise ValueError(
+                f"soft_state override for {predicate!r}: no such materialized "
+                f"table in program {program.name!r}"
+            )
+        program.materialized[predicate] = MaterializeDecl(
+            predicate, lifetime, decl.max_size, decl.keys
+        )
+    return program
+
+
+def _materialize(descriptor: RunDescriptor) -> Scenario:
+    return generate_scenario(
+        descriptor.family,
+        size=descriptor.size,
+        seed=descriptor.seed,
+        policy=descriptor.policy,
+        churn_events=descriptor.churn_events,
+        churn_start=descriptor.churn_start,
+        churn_spacing=descriptor.churn_spacing,
+        churn_restore_delay=descriptor.churn_restore_delay,
+        loss=descriptor.loss,
+    )
+
+
+def _route_projection(engine: DistributedEngine, schema: MonitorSchema) -> set[tuple]:
+    """(source, destination, value) of every selected best route — path
+    choice dropped so equal-cost ties don't read as staleness."""
+
+    return {
+        tuple(row[p] for p in schema.group_positions) + (row[schema.best_value_position],)
+        for row in engine.rows(schema.best_predicate)
+    }
+
+
+def _stale_routes(
+    engine: DistributedEngine,
+    descriptor: RunDescriptor,
+    scenario: Scenario,
+    schema: MonitorSchema,
+) -> tuple[int, int]:
+    """Selected routes diverging from a fresh reliable run on the final
+    topology: (stale = held but wrong, missing = absent but derivable)."""
+
+    for link in scenario.topology.links():
+        link.loss = 0.0  # the reference fixpoint is loss-free
+    fresh = DistributedEngine(
+        build_program(descriptor),
+        scenario.topology,
+        config=EngineConfig(seed=descriptor.seed, max_events=descriptor.max_events),
+    )
+    fresh.run(until=descriptor.until, extra_facts=scenario.policy_fact_list())
+    have = _route_projection(engine, schema)
+    want = _route_projection(fresh, schema)
+    return len(have - want), len(want - have)
+
+
+def execute_run(descriptor_data: dict) -> dict:
+    """Execute one run from its plain-data descriptor (worker entry point)."""
+
+    descriptor = RunDescriptor.from_dict(descriptor_data)
+    started = time.perf_counter()
+    scenario = _materialize(descriptor)
+    program = build_program(descriptor)
+    schema = schema_for_program(program)
+    engine = DistributedEngine(
+        program, scenario.topology, config=descriptor.engine_config()
+    )
+    monitors = [build_monitor(kind, schema) for kind in descriptor.monitors]
+    for monitor in monitors:
+        engine.attach_monitor(monitor)
+    if scenario.churn is not None:
+        scenario.churn.apply_to_engine(engine)
+    trace = engine.run(
+        until=descriptor.until, extra_facts=scenario.policy_fact_list()
+    )
+    engine.finalize_monitors()
+    trace.seeds["scenario"] = descriptor.seed
+    stale = missing = None
+    if descriptor.record_stale_routes:
+        stale, missing = _stale_routes(engine, descriptor, scenario, schema)
+    record = RunRecord(
+        run_id=descriptor.run_id,
+        index=descriptor.index,
+        params=descriptor.to_dict(),
+        seeds=dict(trace.seeds),
+        quiescent=trace.quiescent,
+        finished_at=trace.finished_at,
+        convergence_time=trace.convergence_time(),
+        events=trace.events_processed,
+        messages=trace.message_count,
+        delivered_messages=trace.delivered_message_count,
+        dropped_messages=engine.channel.dropped,
+        retraction_messages=len(trace.retraction_messages()),
+        retractions=trace.retraction_count,
+        state_changes=trace.state_change_count,
+        route_count=len(engine.rows(schema.best_predicate)),
+        stale_routes=stale,
+        missing_routes=missing,
+        monitors=[monitor.report() for monitor in monitors],
+        monitors_ok=all(monitor.ok for monitor in monitors),
+        wall_time=round(time.perf_counter() - started, 6),
+    )
+    return record.to_dict()
+
+
+@dataclass
+class CampaignResult:
+    """The outcome of one :func:`run_campaign` invocation."""
+
+    spec: CampaignSpec
+    records: list[RunRecord]
+    executed: int
+    resumed: int
+    wall_time: float
+    out_dir: Path
+    summary: dict
+
+    @property
+    def run_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def runs_per_second(self) -> float:
+        return self.executed / self.wall_time if self.wall_time > 0 else 0.0
+
+
+ProgressCallback = Callable[[RunRecord, int, int], None]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out_dir: str | Path,
+    *,
+    workers: int = 1,
+    resume: bool = True,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignResult:
+    """Execute a campaign spec, streaming records to ``out_dir``.
+
+    ``workers > 1`` fans runs out over a process pool (chunked
+    ``executor.map``, records written back in descriptor order).  With
+    ``resume`` (the default) runs already present in the ledger are skipped,
+    so re-invoking a killed campaign continues where it stopped;
+    ``resume=False`` discards previous artifacts and starts fresh.
+    """
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    ledger_path = out_dir / LEDGER_NAME
+    if not resume:
+        for name in (LEDGER_NAME, RESULTS_NAME, SUMMARY_NAME):
+            (out_dir / name).unlink(missing_ok=True)
+    (out_dir / SPEC_NAME).write_text(
+        json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    descriptors = spec.expand()
+    # resume only runs whose *full* descriptor matches: the run_id encodes
+    # the grid coordinates, but spec edits to shared fields (budgets,
+    # soft-state lifetimes, engine override contents, monitor list…) keep
+    # the same ids — those ledger entries are stale and must re-execute
+    expected = {
+        descriptor.run_id: json.loads(json.dumps(descriptor.to_dict()))
+        for descriptor in descriptors
+    }
+    done = {
+        run_id: record
+        for run_id, record in read_ledger(ledger_path).items()
+        if expected.get(run_id) == record.params
+    }
+    todo = [d for d in descriptors if d.run_id not in done]
+    resumed = len(descriptors) - len(todo)
+    started = time.perf_counter()
+    completed = resumed
+
+    def finish(record_data: dict) -> None:
+        nonlocal completed
+        record = RunRecord.from_dict(record_data)
+        append_ledger(ledger_path, record)
+        done[record.run_id] = record
+        completed += 1
+        if progress is not None:
+            progress(record, completed, len(descriptors))
+
+    if todo:
+        if workers <= 1:
+            for descriptor in todo:
+                finish(execute_run(descriptor.to_dict()))
+        else:
+            # chunking amortizes pickling/IPC without starving the pool
+            chunksize = max(1, len(todo) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for record_data in pool.map(
+                    execute_run,
+                    [descriptor.to_dict() for descriptor in todo],
+                    chunksize=chunksize,
+                ):
+                    finish(record_data)
+
+    records = [done[descriptor.run_id] for descriptor in descriptors]
+    wall_time = time.perf_counter() - started
+    write_results(out_dir / RESULTS_NAME, records)
+    summary = {
+        "campaign": spec.name,
+        "workers": workers,
+        "executed": len(todo),
+        "resumed": resumed,
+        "wall_time": round(wall_time, 3),
+        **summarize(records),
+    }
+    (out_dir / SUMMARY_NAME).write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    return CampaignResult(
+        spec=spec,
+        records=records,
+        executed=len(todo),
+        resumed=resumed,
+        wall_time=wall_time,
+        out_dir=out_dir,
+        summary=summary,
+    )

@@ -127,6 +127,7 @@ def generate_scenario(
     churn_start: float = 1.0,
     churn_spacing: float = 0.5,
     churn_restore_delay: Optional[float] = None,
+    loss: float = 0.0,
     **params,
 ) -> Scenario:
     """Generate one scenario.
@@ -135,7 +136,9 @@ def generate_scenario(
     (grids round up to the nearest rows×cols rectangle, hierarchies to tier
     sums).  ``policy`` optionally names a policy kind from
     :data:`repro.scenarios.policies.POLICY_KINDS`; ``churn_events > 0`` adds
-    a link-churn schedule.
+    a link-churn schedule; ``loss`` sets a uniform per-message drop
+    probability on every link (the lossy-channel dimension of harness
+    campaigns).
     """
 
     if family not in SCENARIO_FAMILIES:
@@ -144,7 +147,12 @@ def generate_scenario(
         )
     if size < 1:
         raise ValueError("size must be positive")
+    if not 0.0 <= loss < 1.0:
+        raise ValueError("loss must be a probability in [0, 1)")
     topology = SCENARIO_FAMILIES[family](size, seed, **params)
+    if loss:
+        for link in topology.links():
+            link.loss = loss
     policies = (
         scenario_policies(policy, topology, seed=seed) if policy is not None else None
     )
@@ -167,7 +175,7 @@ def generate_scenario(
         topology=topology,
         policies=policies,
         churn=churn,
-        params={"size": size, **params},
+        params={"size": size, **({"loss": loss} if loss else {}), **params},
     )
 
 

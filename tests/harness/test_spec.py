@@ -1,0 +1,145 @@
+"""Campaign spec loading, validation, and grid expansion."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import CampaignSpec, SpecError, load_spec, spec_from_mapping
+from repro.harness.spec import RunDescriptor
+
+
+class TestExpansion:
+    def test_grid_size_is_the_axis_product(self):
+        spec = CampaignSpec(
+            name="grid",
+            families=("tree", "waxman"),
+            sizes=(10, 20),
+            policies=("shortest_path", "none"),
+            seeds=(0, 1, 2),
+            churn_events=(0, 2),
+            loss=(0.0, 0.05),
+            engine=({}, {"batch_deltas": False}),
+        )
+        descriptors = spec.expand()
+        assert spec.run_count == 2 * 2 * 2 * 3 * 2 * 2 * 2
+        assert len(descriptors) == spec.run_count
+        assert [d.index for d in descriptors] == list(range(spec.run_count))
+        assert len({d.run_id for d in descriptors}) == spec.run_count
+
+    def test_expansion_is_deterministic(self):
+        def make():
+            return CampaignSpec(
+                name="det", families=("tree",), sizes=(12,), seeds=(0, 1)
+            ).expand()
+
+        assert make() == make()
+
+    def test_none_policy_means_plain_path_vector(self):
+        spec = CampaignSpec(name="p", policies=("none", "gao_rexford"))
+        policies = {d.policy for d in spec.expand()}
+        assert policies == {None, "gao_rexford"}
+
+    def test_descriptor_round_trips_through_json(self):
+        descriptor = CampaignSpec(
+            name="rt",
+            engine=({"retract_derivations": False},),
+            soft_state={"link": 5.0},
+        ).expand()[0]
+        rebuilt = RunDescriptor.from_dict(json.loads(json.dumps(descriptor.to_dict())))
+        assert rebuilt == descriptor
+        config = rebuilt.engine_config()
+        assert config.retract_derivations is False
+        assert config.seed == descriptor.seed
+
+    def test_engine_matrix_produces_distinct_configs(self):
+        spec = CampaignSpec(
+            name="engines", engine=({}, {"batch_deltas": False, "use_indexes": False})
+        )
+        configs = [d.engine_config() for d in spec.expand()]
+        assert configs[0].batch_deltas is True
+        assert configs[1].batch_deltas is False and configs[1].use_indexes is False
+
+
+class TestValidation:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SpecError, match="unknown scenario family"):
+            CampaignSpec(name="bad", families=("moebius",))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SpecError, match="unknown policy"):
+            CampaignSpec(name="bad", policies=("tit_for_tat",))
+
+    def test_unknown_monitor_rejected(self):
+        with pytest.raises(SpecError, match="unknown monitor"):
+            CampaignSpec(name="bad", monitors=("route_validity", "vibes"))
+
+    def test_unknown_engine_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown EngineConfig fields"):
+            CampaignSpec(name="bad", engine=({"warp_speed": True},))
+
+    def test_loss_must_be_probability(self):
+        with pytest.raises(SpecError, match="probabilities"):
+            CampaignSpec(name="bad", loss=(1.5,))
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown spec fields"):
+            spec_from_mapping({"name": "bad", "colour": "blue"})
+
+
+class TestLoading:
+    def test_toml_and_json_load_identically(self, tmp_path):
+        toml_path = tmp_path / "c.toml"
+        toml_path.write_text(
+            'name = "c"\nfamilies = ["tree"]\nsizes = [12]\n'
+            'policies = ["shortest_path"]\nseeds = [0, 1]\nuntil = 5.0\n'
+        )
+        json_path = tmp_path / "c.json"
+        json_path.write_text(
+            json.dumps(
+                {
+                    "name": "c",
+                    "families": ["tree"],
+                    "sizes": [12],
+                    "policies": ["shortest_path"],
+                    "seeds": [0, 1],
+                    "until": 5.0,
+                }
+            )
+        )
+        assert load_spec(toml_path).expand() == load_spec(json_path).expand()
+
+    def test_scalar_axes_are_promoted(self, tmp_path):
+        path = tmp_path / "s.toml"
+        path.write_text('name = "s"\nfamilies = "tree"\nsizes = 10\nseeds = 3\n')
+        spec = load_spec(path)
+        assert spec.families == ("tree",) and spec.sizes == (10,) and spec.seeds == (3,)
+
+    def test_malformed_spec_files_raise_spec_errors(self, tmp_path):
+        broken_toml = tmp_path / "broken.toml"
+        broken_toml.write_text('name = "x\nfamilies = [')
+        with pytest.raises(SpecError, match="malformed spec"):
+            load_spec(broken_toml)
+        broken_json = tmp_path / "broken.json"
+        broken_json.write_text("{not json")
+        with pytest.raises(SpecError, match="malformed spec"):
+            load_spec(broken_json)
+        bad_value = tmp_path / "bad.toml"
+        bad_value.write_text('name = "x"\nsizes = ["ten"]\n')
+        with pytest.raises(SpecError, match="invalid spec"):
+            load_spec(bad_value)
+
+    def test_missing_file_and_bad_suffix(self, tmp_path):
+        with pytest.raises(SpecError, match="not found"):
+            load_spec(tmp_path / "nope.toml")
+        bad = tmp_path / "spec.yaml"
+        bad.write_text("name: x")
+        with pytest.raises(SpecError, match="unsupported spec format"):
+            load_spec(bad)
+
+    def test_example_smoke_spec_loads(self):
+        example = Path(__file__).resolve().parents[2] / "examples" / "campaign_smoke.toml"
+        spec = load_spec(example)
+        assert spec.name == "campaign-smoke"
+        assert spec.run_count >= 8
+        assert all(p == "shortest_path" for p in spec.policies)

@@ -60,7 +60,25 @@ class TestLocalization:
     def test_localized_program_preserves_materialization(self):
         program = parse_program(PATH_VECTOR_SOURCE, "pv")
         result = localize_program(program)
-        assert set(result.program.materialized) == set(program.materialized)
+        # every original declaration survives, and the shipped variant
+        # inherits the source's storage semantics with its key positions
+        # following the argument reordering (link(S,Z,C) -> link_d(Z,S,C))
+        assert set(result.program.materialized) == set(program.materialized) | {"link_d"}
+        for predicate, decl in program.materialized.items():
+            assert result.program.materialized[predicate] == decl
+        shipped = result.program.materialized["link_d"]
+        assert shipped.lifetime == program.materialized["link"].lifetime
+        assert shipped.max_size == program.materialized["link"].max_size
+        assert shipped.keys == (1, 2)
+
+    def test_shipped_soft_state_stays_soft(self):
+        source = PATH_VECTOR_SOURCE.replace(
+            "materialize(link, infinity, infinity, keys(1,2)).",
+            "materialize(link, 4, infinity, keys(1,2)).",
+        )
+        result = localize_program(parse_program(source, "pv_soft"))
+        assert result.program.materialized["link_d"].lifetime == 4
+        assert result.program.materialized["link_d"].is_soft_state
 
     def test_local_rules_pass_through(self):
         program = parse_program("p(@X,Y) :- e(@X,Y), f(@X).")
