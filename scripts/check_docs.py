@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Documentation gate for CI (stdlib only).
+
+Two checks:
+
+1. **Module docstrings** — every ``*.py`` module under ``src/repro`` must
+   open with a module-level docstring stating what it implements (the
+   repository convention: which paper section/mechanism, and the public
+   entry points for packages).  Parsed with ``ast``; no imports.
+
+2. **Config reference coverage** — every field of
+   ``repro.dn.engine.EngineConfig`` and every field of
+   ``repro.harness.spec.CampaignSpec`` must be mentioned in
+   ``docs/CONFIG.md``, so new knobs cannot land undocumented.  Field names
+   are read from the class bodies with ``ast`` (annotated assignments), so
+   the check needs no runtime dependencies.
+
+Exit status 0 = all good; 1 = violations (listed on stdout).
+
+Usage::
+
+    python scripts/check_docs.py [--root .]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+
+
+def modules_missing_docstrings(src: pathlib.Path) -> list[pathlib.Path]:
+    missing = []
+    for path in sorted(src.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if not ast.get_docstring(tree):
+            missing.append(path)
+    return missing
+
+
+def dataclass_fields(module_path: pathlib.Path, class_name: str) -> list[str]:
+    """Annotated field names of a (data)class body, in declaration order."""
+
+    tree = ast.parse(module_path.read_text(), filename=str(module_path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return [
+                item.target.id
+                for item in node.body
+                if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name)
+            ]
+    raise SystemExit(f"class {class_name} not found in {module_path}")
+
+
+def class_section(config_md: str, class_name: str) -> str:
+    """The ``## …`` section of CONFIG.md documenting one class.
+
+    Scoping the field search to the class's own section keeps the gate
+    honest when two classes share a field name (``max_events``, ``seed``,
+    ``shards``, … exist on both EngineConfig and CampaignSpec): mentioning
+    it for one class must not satisfy the other.
+    """
+
+    for section in config_md.split("\n## "):
+        heading = section.splitlines()[0] if section else ""
+        if class_name in heading:
+            return section
+    raise SystemExit(f"docs/CONFIG.md has no section mentioning {class_name}")
+
+
+def undocumented_fields(
+    config_md: str, module_path: pathlib.Path, class_name: str
+) -> list[str]:
+    section = class_section(config_md, class_name)
+    return [
+        field
+        for field in dataclass_fields(module_path, class_name)
+        if f"`{field}`" not in section
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root)
+    failures = 0
+
+    missing = modules_missing_docstrings(root / "src" / "repro")
+    for path in missing:
+        print(f"MISSING DOCSTRING: {path}")
+        failures += 1
+
+    config_md_path = root / "docs" / "CONFIG.md"
+    if not config_md_path.exists():
+        print(f"MISSING FILE: {config_md_path}")
+        return 1
+    config_md = config_md_path.read_text()
+    for module, cls in [
+        (root / "src" / "repro" / "dn" / "engine.py", "EngineConfig"),
+        (root / "src" / "repro" / "harness" / "spec.py", "CampaignSpec"),
+    ]:
+        for field in undocumented_fields(config_md, module, cls):
+            print(f"UNDOCUMENTED FIELD: {cls}.{field} not mentioned in docs/CONFIG.md")
+            failures += 1
+
+    if failures:
+        print(f"\n{failures} documentation violation(s)")
+        return 1
+    print("docs check: all modules documented, all config fields covered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

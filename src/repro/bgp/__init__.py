@@ -5,6 +5,13 @@ Figure 2, import/export policies, the Stable Paths Problem gadgets (Disagree,
 Good Gadget, Bad Gadget), the SPVP dynamics that exhibit policy-conflict
 divergence, and generators producing executable NDlog from the verified
 specification.
+
+Public entry points: :func:`policy_path_vector_program` /
+:func:`policy_facts` (the generated policy path-vector NDlog the engine
+and harness execute), :func:`bgp_component_program` and the Figure-2
+component models in :mod:`repro.bgp.model`, the SPP gadget library in
+:mod:`repro.bgp.spp`, and :class:`SPVPSimulator` for policy-conflict
+dynamics.
 """
 
 from .generator import (

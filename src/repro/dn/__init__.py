@@ -6,10 +6,13 @@ execution traces for convergence analysis.  This package plays the role the
 P2 system plays in the paper (arc 7 of Figure 1).
 """
 
-from .engine import DistributedEngine, EngineConfig, run_program
+from .engine import DistributedEngine, EngineConfig, create_engine, run_program
 from .events import Event, EventScheduler
+from .executor import FixpointExecutor
 from .network import Channel, Link, Message, NodeId, Topology
 from .node import Node, NodeStats
+from .partition import PARTITION_STRATEGIES, edge_cut, partition_nodes
+from .shard import ShardedEngine, ShardError, ShardWorker
 from .trace import MessageRecord, StateChange, Trace
 
 __all__ = [
@@ -18,14 +21,22 @@ __all__ = [
     "EngineConfig",
     "Event",
     "EventScheduler",
+    "FixpointExecutor",
     "Link",
     "Message",
     "MessageRecord",
     "Node",
     "NodeId",
     "NodeStats",
+    "PARTITION_STRATEGIES",
+    "ShardError",
+    "ShardWorker",
+    "ShardedEngine",
     "StateChange",
     "Topology",
     "Trace",
+    "create_engine",
+    "edge_cut",
+    "partition_nodes",
     "run_program",
 ]

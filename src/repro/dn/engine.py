@@ -38,7 +38,11 @@ memoized instead of being rebuilt on every delivery round.
    a per-node memo so vanished groups (stale best routes) are withdrawn.
    Rules with negated body literals get compiled negation-delta variants so
    changes of the negated relation assert/retract exactly the bindings they
-   unblock/block.
+   unblock/block.  Settles that removed rows end with a **consistency
+   sweep**: purely-local derived predicates are re-derived and stored rows
+   no longer derivable are force-retracted, repairing the support counts a
+   multi-round deletion cascade can strand (see
+   :meth:`repro.dn.executor.FixpointExecutor.settle`).
 
 ``EngineConfig(batch_deltas=False)`` restores the original per-tuple
 pipelined firing, ``compile_rules=False`` the AST-interpreting rule
@@ -63,16 +67,15 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Protocol
+from typing import Iterable, Optional, Protocol
 
 from ..logic.bmc import FunctionRegistry
-from ..ndlog.aggregates import diff_rows
-from ..ndlog.ast import Fact, NDlogError, Program, Rule
+from ..ndlog.ast import Fact, NDlogError, Program
 from ..ndlog.functions import builtin_registry
 from ..ndlog.localization import localize_program
-from ..ndlog.plan import NEGATION_DELTA_SUFFIX, RuleFiring
-from ..ndlog.seminaive import DeltaIndex, RuleEngine, row_key
+from ..ndlog.seminaive import RuleEngine
 from .events import Event, EventScheduler
+from .executor import FixpointExecutor
 from .network import Channel, NodeId, Topology
 from .node import Node
 from .trace import Trace
@@ -107,6 +110,20 @@ class EngineConfig:
     #: via per-tuple support counts and deletion deltas (False restores the
     #: original monotonic semantics, where derived state is never removed).
     retract_derivations: bool = True
+    #: Partition the node set across this many shard workers (1 = the
+    #: classic single-process engine).  Use :func:`create_engine` (or the
+    #: harness) to honor this field; constructing :class:`DistributedEngine`
+    #: directly always runs single-process.
+    shards: int = 1
+    #: Node→shard assignment strategy: ``"hash"`` (stable content hash of
+    #: the node id) or ``"metis-lite"`` (greedy balanced BFS growth that
+    #: keeps topology neighborhoods together, cutting cross-shard traffic).
+    #: Either way the execution is byte-identical to single-process.
+    partition: str = "hash"
+    #: How shard workers run: ``"process"`` spawns one OS process per shard
+    #: (the scaling configuration), ``"inline"`` hosts them in-process
+    #: (same code path minus the IPC — used by differential tests).
+    shard_transport: str = "process"
 
 
 class EngineMonitor(Protocol):
@@ -148,14 +165,23 @@ class DistributedEngine:
         self.localization = localization
         self.topology = topology
         self.config = config or EngineConfig()
+        #: the caller-supplied registry (None = builtin), remembered so the
+        #: sharded subclass can forward the same argument to its workers
+        self._registry_arg = registry
         self.registry = registry or builtin_registry()
         self.rule_engine = RuleEngine(
             self.registry,
             use_indexes=self.config.use_indexes,
             compile_rules=self.config.compile_rules,
         )
-        # compile the localized program once; every node shares the plans
-        self.rule_engine.precompile(self.program.rules)
+        # compile the localized program once; every node shares the plans.
+        # A sharded coordinator never fires rules itself (its workers each
+        # compile their own copy; its nodes are a replay-maintained replica),
+        # so it skips the warm-up — compilation stays lazy if anything ever
+        # does fire coordinator-side.
+        fires_rules = self.config.shards <= 1 or type(self) is DistributedEngine
+        if fires_rules:
+            self.rule_engine.precompile(self.program.rules)
         self.scheduler = EventScheduler()
         # Resolve the loss channel's seed once so every run — including
         # seed=None "nondeterministic" ones — is reproducible from its
@@ -178,19 +204,19 @@ class DistributedEngine:
             node_id: Node(node_id, self.program, rule_engine=self.rule_engine)
             for node_id in topology.nodes
         }
-        # rules indexed by the body predicates that can trigger them, plus a
-        # memo of the per-delta plain/aggregate split (computed once per
-        # distinct delta-predicate set instead of once per delivery round)
-        self._triggers: dict[str, list[Rule]] = {}
-        self._rule_order: dict[int, int] = {
-            id(rule): index for index, rule in enumerate(self.program.rules)
-        }
-        for rule in self.program.rules:
-            for predicate in set(rule.body_predicates()):
-                self._triggers.setdefault(predicate, []).append(rule)
-        self._trigger_cache: dict[
-            frozenset[str], tuple[tuple[Rule, ...], tuple[Rule, ...]]
-        ] = {}
+        # the node-local fixpoint machinery (trigger maps, retraction
+        # rounds, negation deltas) lives in the executor, shared with the
+        # shard workers; this engine plugs its trace/channel in as the
+        # effect sinks
+        self.executor = FixpointExecutor(
+            self.program,
+            self.rule_engine,
+            batch_deltas=self.config.batch_deltas,
+            retract_derivations=self.config.retract_derivations,
+            build_rule_state=fires_rules,
+            record_change=self._record_change,
+            send=self._send,
+        )
         self._base_facts: list[tuple[NodeId, str, tuple]] = []
         self._seeded = False
         # per-node queues of ops awaiting batched delta processing; each op
@@ -199,19 +225,7 @@ class DistributedEngine:
         self._pending: dict[NodeId, deque[tuple[str, str, tuple]]] = {
             node_id: deque() for node_id in topology.nodes
         }
-        self._draining: set[NodeId] = set()
         self._flush_marks: dict[NodeId, float] = {}
-        #: negated predicate → compiled negation-delta variant rules, and
-        #: head predicate → non-aggregate rules deriving it (for keyed
-        #: refills); only built when retraction semantics are on
-        self._negation_triggers: dict[str, list[Rule]] = {}
-        self._head_rules: dict[str, list[Rule]] = {}
-        if self.config.retract_derivations:
-            for rule in self.program.rules:
-                for predicate, variant in self.rule_engine.negation_variants(rule):
-                    self._negation_triggers.setdefault(predicate, []).append(variant)
-                if not rule.head.has_aggregate:
-                    self._head_rules.setdefault(rule.head.predicate, []).append(rule)
 
     # ------------------------------------------------------------------
     # Runtime monitors
@@ -280,10 +294,14 @@ class DistributedEngine:
                 values = tuple(values)
                 facts.append((values[0], predicate, values))
         if self.config.link_predicate:
+            self._protect_predicate(self.config.link_predicate)
             for link_fact in self.topology.link_facts():
                 facts.append((link_fact[0], self.config.link_predicate, tuple(link_fact)))
         self._base_facts = facts
         for node_id, predicate, values in facts:
+            # injected base facts are exempt from consistency sweeps (no
+            # rule derives them, so derivability must not be demanded)
+            self._protect_predicate(predicate)
             self._schedule_local_insert(node_id, predicate, values, delay=0.0)
         if self.config.refresh_interval:
             self.scheduler.schedule(
@@ -326,7 +344,7 @@ class DistributedEngine:
         self.scheduler.schedule(delay, Event("insert", deliver, f"{predicate}@{node_id}"))
 
     def _send(
-        self, src: NodeId, dst: NodeId, predicate: str, values: tuple, *, kind: str = "assert"
+        self, src: NodeId, dst: NodeId, predicate: str, values: tuple, kind: str = "assert"
     ) -> None:
         if dst not in self.nodes:
             raise NDlogError(f"tuple {predicate}{values} addressed to unknown node {dst!r}")
@@ -363,31 +381,36 @@ class DistributedEngine:
         self._enqueue(node_id, (kind, predicate, values))
 
     def _enqueue(self, node_id: NodeId, op: tuple[str, str, tuple]) -> None:
-        node = self.nodes[node_id]
         if not self.config.batch_deltas:
-            # per-tuple mode recurses synchronously through local firings;
-            # the node settles when the outermost application returns
-            self._per_tuple_depth += 1
-            try:
-                if op[0] == "insert" and not self.config.retract_derivations:
-                    self._apply_and_fire(node, op[1], op[2])
-                else:
-                    self._apply_per_tuple(node, op)
-            finally:
-                self._per_tuple_depth -= 1
-            if self._per_tuple_depth == 0 and self.monitors:
-                self._notify_settle(node_id)
+            self._apply_immediate(node_id, op)
             return
-        self._pending.setdefault(node_id, deque()).append(op)
-        if node_id in self._draining:
-            return  # an enclosing drain loop will pick the tuple up
+        self._pending[node_id].append(op)
         now = self.scheduler.now
         if self._flush_marks.get(node_id) == now:
             return  # a flush for this node at this timestamp is already queued
         self._flush_marks[node_id] = now
         self.scheduler.schedule(
-            0.0, Event("flush", lambda: self._flush(node_id), f"batch flush@{node_id}")
+            0.0,
+            Event(
+                "flush",
+                lambda: self._flush(node_id),
+                f"batch flush@{node_id}",
+                target=node_id,
+            ),
         )
+
+    def _apply_immediate(self, node_id: NodeId, op: tuple[str, str, tuple]) -> None:
+        """Per-tuple mode: apply one op synchronously (recursing through
+        local firings inside the executor); the node settles when the
+        outermost application returns."""
+
+        self._per_tuple_depth += 1
+        try:
+            self.executor.apply_op(self.nodes[node_id], op, self.scheduler.now)
+        finally:
+            self._per_tuple_depth -= 1
+        if self._per_tuple_depth == 0 and self.monitors:
+            self._notify_settle(node_id)
 
     def _flush(self, node_id: NodeId) -> None:
         """Drain every tuple that accumulated for a node at this timestamp.
@@ -395,376 +418,25 @@ class DistributedEngine:
         Scheduling the flush as a zero-delay event lets all same-timestamp
         deliveries (the seeding burst, synchronized message waves) coalesce
         into one batched semi-naive round instead of firing rules per tuple.
+        The drain itself — retraction-aware rounds to a local fixpoint — is
+        the executor's job; this engine only owns the queues and the settle
+        notification.
         """
 
         self._flush_marks.pop(node_id, None)
-        if node_id in self._draining:
-            return
-        self._draining.add(node_id)
-        try:
-            self._drain(self.nodes[node_id])
-        finally:
-            self._draining.discard(node_id)
+        queue = self._pending[node_id]
+        ops = list(queue)
+        queue.clear()
+        self.executor.drain(self.nodes[node_id], ops, self.scheduler.now)
         if self.monitors:
             self._notify_settle(node_id)
-
-    def _apply_insert(self, node: Node, predicate: str, values: tuple) -> bool:
-        """Insert one tuple into a node's store, recording the change."""
-
-        now = self.scheduler.now
-        changed, table = node.upsert(predicate, values, now)
-        if not changed:
-            return False
-        kind = "replace" if table.keys else "insert"
-        self._record_change(now, node.id, predicate, values, kind)
-        return True
-
-    def _dispatch(self, node: Node, firings) -> None:
-        """Route derived tuples: local heads re-enter the node's delta queue
-        (or recurse in per-tuple mode), remote heads become messages."""
-
-        node_id = node.id
-        batch = self.config.batch_deltas
-        pending = self._pending[node_id] if batch else None
-        for firing in firings:
-            values = firing.values
-            location = firing.location
-            destination = values[location] if location is not None else None
-            if destination is None or destination == node_id:
-                if batch:
-                    pending.append(("insert", firing.predicate, values))
-                else:
-                    self._handle_insert(node_id, firing.predicate, values)
-            else:
-                self._send(node_id, destination, firing.predicate, values)
-
-    def _dispatch_retractions(self, node: Node, firings) -> None:
-        """Route lost derivations: local heads queue counted retract ops,
-        remote heads become retraction messages."""
-
-        node_id = node.id
-        batch = self.config.batch_deltas
-        pending = self._pending[node_id] if batch else None
-        for firing in firings:
-            values = firing.values
-            location = firing.location
-            destination = values[location] if location is not None else None
-            if destination is None or destination == node_id:
-                if batch:
-                    pending.append(("retract", firing.predicate, values))
-                else:
-                    self._handle_retract(node_id, firing.predicate, values)
-            else:
-                self._send(node_id, destination, firing.predicate, values, kind="retract")
-
-    def _drain(self, node: Node) -> None:
-        """Process a node's pending ops in batched semi-naive rounds.
-
-        Each round drains every queued op (everything that arrived at this
-        timestamp, plus everything derived/retracted locally by the previous
-        round) and runs it through :meth:`_process_round`: deletions first
-        (retraction joins fire against the old database), then insertions,
-        then triggered aggregate recomputation.
-        """
-
-        queue = self._pending[node.id]
-        if not self.config.retract_derivations:
-            while queue:
-                delta: dict[str, list[tuple]] = {}
-                while queue:
-                    _, predicate, values = queue.popleft()
-                    if self._apply_insert(node, predicate, values):
-                        delta.setdefault(predicate, []).append(values)
-                if not delta:
-                    continue
-                plain, aggregate = self._triggered_rules(delta)
-                # one shared view so the delta is copied/grouped once per
-                # round, not once per triggered rule
-                view = DeltaIndex(delta)
-                for rule in plain:
-                    self._dispatch(node, node.fire(rule, delta=view))
-                # aggregate recomputation is deferred to the end of the batch
-                # so large deltas pay one recomputation instead of one per
-                # tuple
-                for rule in aggregate:
-                    self._dispatch(node, node.fire(rule))
-            return
-        self._settle(node, queue)
-
-    def _apply_per_tuple(self, node: Node, op: tuple[str, str, tuple]) -> None:
-        """Per-tuple retraction-aware processing (``batch_deltas=False``)."""
-
-        self._settle(node, deque([op]))
-
-    def _settle(self, node: Node, queue) -> None:
-        """Run a node's op queue to quiescence in retraction-aware rounds.
-
-        Each round batches a FIFO prefix of the queue, split into a
-        deletion sub-round (processed first, so retraction joins see the
-        old database) and an insertion sub-round.  The prefix is cut at the
-        first op whose tuple already appeared in the **opposite direction**
-        within the round: an assertion and a later retraction of the same
-        tuple (e.g. a derivation shipped and then withdrawn by a keyed
-        displacement, both landing in one flush) must cancel in arrival
-        order — processing the retraction first would drop it as stale and
-        leave the row forever.  Cross-tuple reordering inside a round is
-        count-symmetric (both directions enumerate the same bindings), so
-        large same-timestamp batches keep firing as single semi-naive
-        rounds.  Triggered aggregate rules are recomputed once the counting
-        ops settle and diffed against the node's memoized previous output
-        so vanished groups are retracted (their diffs re-enter the queue).
-        """
-
-        changed: set[str] = set()
-        while queue or changed:
-            if not queue:
-                _, aggregate = self._triggered_rules(changed)
-                changed = set()
-                for rule in aggregate:
-                    self._recompute_view(node, rule)
-                continue
-            del_ops: list[tuple[str, str, tuple]] = []
-            ins_ops: list[tuple[str, str, tuple]] = []
-            seen_del: set[tuple[str, tuple]] = set()
-            seen_ins: set[tuple[str, tuple]] = set()
-            while queue:
-                kind, predicate, values = queue[0]
-                key = (predicate, row_key(tuple(values)))
-                if kind == "insert":
-                    if key in seen_del:
-                        break
-                    seen_ins.add(key)
-                    ins_ops.append(queue.popleft())
-                else:
-                    if key in seen_ins:
-                        break
-                    seen_del.add(key)
-                    del_ops.append(queue.popleft())
-            if del_ops:
-                changed |= self._deletion_subround(node, del_ops, queue)
-            if ins_ops:
-                changed |= self._insertion_subround(node, ins_ops, queue)
-
-    def _deletion_subround(self, node: Node, del_ops, requeue) -> set[str]:
-        """One deletion round: decide, fire old-database joins, remove.
-
-        Counted retracts release one support, forced deletes/expiries match
-        the stored row; the retraction joins fire while the condemned rows
-        are still stored (the deletion delta joins against the *old*
-        database) and only then are the rows removed.  Returns the changed
-        predicates.
-        """
-
-        now = self.scheduler.now
-        changed: set[str] = set()
-        if del_ops:
-            removed: dict[str, list[tuple]] = {}
-            decided: list[tuple[str, tuple, str]] = []
-            displacing: set[tuple[str, tuple]] = set()
-            seen: set[tuple[str, tuple]] = set()
-            pending_inserts: Optional[set[tuple]] = None
-            for kind, predicate, values in del_ops:
-                table = node.db.table(predicate)
-                row = tuple(values)
-                if kind == "retract":
-                    if table.current(row) != row:
-                        if pending_inserts is None:
-                            pending_inserts = {
-                                (op[1], row_key(tuple(op[2])))
-                                for op in requeue
-                                if op[0] == "insert"
-                            }
-                        if (predicate, row_key(row)) in pending_inserts:
-                            # the retracted row is not the stored one under
-                            # its key, but its insertion is still pending in
-                            # this settle: a keyed displacement re-queued the
-                            # insert behind us (jumping it over this
-                            # retract), so the retract must defer until the
-                            # insert lands or the pair cancels — dropping it
-                            # as stale would let the re-insert resurrect a
-                            # withdrawn derivation
-                            requeue.append((kind, predicate, values))
-                            continue
-                    if not table.release(row):
-                        continue
-                elif kind == "expire":
-                    if not table.row_expired(row, now):
-                        continue  # refreshed since the expiry scan queued it
-                elif table.current(row) != row:
-                    continue  # forced delete of a row that is gone/replaced
-                if kind == "displace":
-                    # the displacing insertion is already queued and will
-                    # occupy the key: refilling would re-derive both tie
-                    # candidates and livelock
-                    displacing.add((predicate, table.key_of(row)))
-                key = (predicate, row_key(row))
-                if key in seen:
-                    continue
-                seen.add(key)
-                removed.setdefault(predicate, []).append(row)
-                decided.append((predicate, row, "retract" if kind == "displace" else kind))
-            if removed:
-                plain, _ = self._triggered_rules(removed)
-                view = DeltaIndex(removed)
-                retractions: list[RuleFiring] = []
-                for rule in plain:
-                    retractions.extend(node.derive(rule, delta=view))
-                refill: dict[str, set[tuple]] = {}
-                for predicate, row, kind in decided:
-                    marked = node.displaced.get(predicate)
-                    if marked:
-                        key = node.db.table(predicate).key_of(row)
-                        if key in marked and (predicate, key) not in displacing:
-                            marked.discard(key)
-                            refill.setdefault(predicate, set()).add(key)
-                    node.delete(predicate, row)
-                    self._record_change(now, node.id, predicate, row, kind)
-                changed.update(removed)
-                self._dispatch_retractions(node, retractions)
-                # rows leaving a negated predicate enable blocked bindings
-                self._fire_negation_deltas(node, removed, retracting=False)
-                # re-derive once-displaced keys whose stored row is now gone
-                # (the displaced alternatives' support counts were destroyed)
-                for predicate, keys in refill.items():
-                    table = node.db.table(predicate)
-                    for rule in self._head_rules.get(predicate, ()):
-                        for firing in node.derive(rule):
-                            values = firing.values
-                            location = firing.location
-                            destination = (
-                                values[location] if location is not None else None
-                            )
-                            if destination is not None and destination != node.id:
-                                continue  # only locally stored rows refill
-                            if (
-                                table.key_of(values) in keys
-                                and table.current(values) is None
-                            ):
-                                requeue.append(("insert", predicate, values))
-        return changed
-
-    def _insertion_subround(self, node: Node, ins_ops, requeue) -> set[str]:
-        """One insertion round: apply, fire insertion deltas, dispatch.
-
-        Keyed displacements are rerouted through the deletion path first
-        (``requeue``: a ``displace`` of the old row, then the retried
-        insert), preserving FIFO order.  Returns the changed predicates.
-        """
-
-        changed: set[str] = set()
-        if ins_ops:
-            delta: dict[str, list[tuple]] = {}
-            for _, predicate, values in ins_ops:
-                table = node.db.table(predicate)
-                row = tuple(values)
-                # only keyed tables can displace (keyless rows are their own
-                # key, so an existing different row is impossible)
-                previous = table.current(row) if table.keys else None
-                if previous is not None and previous != row:
-                    # keyed displacement (e.g. a link cost change): retract
-                    # the displaced row's consequences before re-inserting,
-                    # and remember the key for refills (see deletion round)
-                    node.displaced.setdefault(predicate, set()).add(
-                        table.key_of(row)
-                    )
-                    requeue.append(("displace", predicate, previous))
-                    requeue.append(("insert", predicate, row))
-                    continue
-                if self._apply_insert(node, predicate, row):
-                    delta.setdefault(predicate, []).append(row)
-            if delta:
-                plain, _ = self._triggered_rules(delta)
-                view = DeltaIndex(delta)
-                for rule in plain:
-                    self._dispatch(node, node.derive(rule, delta=view))
-                changed.update(delta)
-                # rows entering a negated predicate block bindings that
-                # relied on their absence
-                self._fire_negation_deltas(node, delta, retracting=True)
-        return changed
-
-    def _fire_negation_deltas(
-        self, node: Node, changed: Mapping[str, list[tuple]], *, retracting: bool
-    ) -> None:
-        """Fire negation-delta variants for changed negated predicates."""
-
-        for predicate, rows in changed.items():
-            variants = self._negation_triggers.get(predicate)
-            if not variants:
-                continue
-            delta = {predicate + NEGATION_DELTA_SUFFIX: rows}
-            for variant in variants:
-                firings = node.derive(variant, delta=delta)
-                if retracting:
-                    self._dispatch_retractions(node, firings)
-                else:
-                    self._dispatch(node, firings)
-
-    def _recompute_view(self, node: Node, rule: Rule) -> None:
-        """Recompute an aggregate rule and diff against the node's memo."""
-
-        firings = node.fire(rule)
-        added, removed, rows = diff_rows(
-            node.view_memo.get(id(rule), set()), (f.values for f in firings)
-        )
-        node.view_memo[id(rule)] = rows
-        if not added and not removed:
-            return
-        predicate = rule.head.predicate
-        location = rule.head.location
-        name = rule.name
-        # removals first so a keyed aggregate table retracts the stale group
-        # value before the replacement asserts
-        self._dispatch_retractions(
-            node, [RuleFiring(name, predicate, row, location) for row in removed]
-        )
-        self._dispatch(
-            node, [RuleFiring(name, predicate, row, location) for row in added]
-        )
-
-    def _triggered_rules(
-        self, delta: Mapping[str, list[tuple]]
-    ) -> tuple[tuple[Rule, ...], tuple[Rule, ...]]:
-        """Rules triggered by any delta predicate, deduplicated and split
-        into (non-aggregate, aggregate) in program order.
-
-        Memoized per delta-predicate set: delivery rounds repeat the same
-        handful of predicate combinations, so the dedup/sort happens once
-        per combination for the whole run instead of once per round.
-        """
-
-        key = frozenset(delta)
-        cached = self._trigger_cache.get(key)
-        if cached is None:
-            seen: dict[int, Rule] = {}
-            for predicate in key:
-                for rule in self._triggers.get(predicate, ()):
-                    seen.setdefault(id(rule), rule)
-            ordered = sorted(seen.values(), key=lambda r: self._rule_order[id(r)])
-            cached = (
-                tuple(r for r in ordered if not r.head.has_aggregate),
-                tuple(r for r in ordered if r.head.has_aggregate),
-            )
-            self._trigger_cache[key] = cached
-        return cached
-
-    def _apply_and_fire(self, node: Node, predicate: str, values: tuple) -> None:
-        """The original per-tuple pipelined firing (batch_deltas=False)."""
-
-        if not self._apply_insert(node, predicate, values):
-            return
-        delta = {predicate: [values]}
-        for rule in self._triggers.get(predicate, ()):
-            if rule.head.has_aggregate:
-                firings = node.fire(rule)
-            else:
-                firings = node.fire(rule, delta=delta)
-            self._dispatch(node, firings)
 
     # ------------------------------------------------------------------
     # Soft state
     # ------------------------------------------------------------------
     def _refresh_base_facts(self) -> None:
+        now = self.scheduler.now
+        refreshed: list[tuple[NodeId, str, tuple]] = []
         for node_id, predicate, values in self._base_facts:
             decl = self.program.materialized.get(predicate)
             if decl is None or not decl.is_soft_state:
@@ -776,20 +448,34 @@ class DistributedEngine:
                     # re-injecting its fact would resurrect the dead link
                     # (cf. schedule_cost_change); it ships again on restore
                     continue
-            table = self.nodes[node_id].db.table(predicate)
-            if values in table:
+            if values in self.nodes[node_id].db.table(predicate):
                 # pure refresh: extend the lifetime without re-firing rules
                 # (and without inflating the row's support count)
-                table.refresh(values, self.scheduler.now)
+                refreshed.append((node_id, predicate, values))
             else:
                 # the tuple expired — reinsert through the engine so rules
                 # re-derive downstream state (queued in batched mode)
                 self._handle_insert(node_id, predicate, values)
+        if refreshed:
+            self._apply_refresh(refreshed, now)
         if self.config.refresh_interval:
             self.scheduler.schedule(
                 self.config.refresh_interval,
                 Event("refresh", self._refresh_base_facts, "soft-state refresh"),
             )
+
+    def _apply_refresh(
+        self, refreshed: list[tuple[NodeId, str, tuple]], now: float
+    ) -> None:
+        """Extend the lifetimes of present soft-state base facts.
+
+        Hook point for the sharded coordinator, which additionally forwards
+        the refreshes to the shard workers so their authoritative tables
+        keep the same expiry timestamps as the coordinator's replica.
+        """
+
+        for node_id, predicate, values in refreshed:
+            self.nodes[node_id].db.table(predicate).refresh(values, now)
 
     def _expire_soft_state(self) -> None:
         now = self.scheduler.now
@@ -804,7 +490,7 @@ class DistributedEngine:
                         self._handle_retract(node.id, predicate, row, kind="expire")
         else:
             for node in self.nodes.values():
-                removed = node.db.expire(now)
+                removed = self._expire_node_monotonic(node, now)
                 for predicate, rows in removed.items():
                     for row in rows:
                         node.stats.tuples_deleted += 1
@@ -822,6 +508,16 @@ class DistributedEngine:
                 self.config.expiry_scan_interval,
                 Event("expiry", self._expire_soft_state, "soft-state expiry scan"),
             )
+
+    def _expire_node_monotonic(self, node: Node, now: float) -> dict[str, list[tuple]]:
+        """Physically expire one node's soft state (monotonic mode only).
+
+        Hook point for the sharded coordinator, which expires the shard
+        worker's authoritative tables alongside its own replica (both hold
+        identical rows and timestamps, so they agree on what expires).
+        """
+
+        return node.db.expire(now)
 
     # ------------------------------------------------------------------
     # Topology dynamics
@@ -848,8 +544,7 @@ class DistributedEngine:
                         link.src, self.config.link_predicate, link.as_fact(), kind="delete"
                     )
                     continue
-                node = self.nodes[link.src]
-                if node.delete(self.config.link_predicate, link.as_fact()):
+                if self._monotonic_delete(link.src, self.config.link_predicate, link.as_fact()):
                     self._record_change(
                         self.scheduler.now, link.src, self.config.link_predicate, link.as_fact(), "delete"
                     )
@@ -859,6 +554,15 @@ class DistributedEngine:
                         self._notify_settle(link.src)
 
         self.scheduler.schedule_at(at, Event("link_failure", fail, f"{src}-{dst} down"))
+
+    def _monotonic_delete(self, node_id: NodeId, predicate: str, values: tuple) -> bool:
+        """Remove a base row without retraction (monotonic-mode hook).
+
+        The sharded coordinator overrides this to delete at the owning
+        worker as well as in its replica.
+        """
+
+        return self.nodes[node_id].delete(predicate, values)
 
     def schedule_link_restore(self, src: NodeId, dst: NodeId, at: float, *, symmetric: bool = True) -> None:
         """Restore a failed link at an absolute simulation time.
@@ -897,10 +601,17 @@ class DistributedEngine:
 
         self.scheduler.schedule_at(at, Event("cost_change", change, f"{src}-{dst} cost={cost}"))
 
+    def _protect_predicate(self, predicate: str) -> None:
+        """Mark a predicate as carrying injected base facts (sweep-exempt).
+        The sharded coordinator forwards new protections to its workers."""
+
+        self.executor.protect(predicate)
+
     def schedule_fact(self, predicate: str, values: tuple, at: float) -> None:
         """Inject a located fact at an absolute simulation time."""
 
         values = tuple(values)
+        self._protect_predicate(predicate)
         self.scheduler.schedule_at(
             at,
             Event(
@@ -955,6 +666,32 @@ class DistributedEngine:
     def total_messages(self) -> int:
         return self.trace.message_count
 
+    def close(self) -> None:
+        """Release external resources.  A no-op for the single-process
+        engine; the sharded engine overrides this to shut its worker
+        processes down (its replicated state stays readable after)."""
+
+
+def create_engine(
+    program: Program,
+    topology: Topology,
+    *,
+    config: Optional[EngineConfig] = None,
+    registry: Optional[FunctionRegistry] = None,
+) -> DistributedEngine:
+    """Build the engine matching ``config``: the classic single-process
+    :class:`DistributedEngine`, or — when ``config.shards > 1`` — the
+    process-sharded :class:`~repro.dn.shard.ShardedEngine`, which produces
+    byte-identical traces for the same seed.  Callers that may receive a
+    sharded engine should ``close()`` it when done."""
+
+    config = config or EngineConfig()
+    if config.shards > 1:
+        from .shard import ShardedEngine  # deferred: shard imports this module
+
+        return ShardedEngine(program, topology, config=config, registry=registry)
+    return DistributedEngine(program, topology, config=config, registry=registry)
+
 
 def run_program(
     program: Program,
@@ -964,8 +701,10 @@ def run_program(
     extra_facts: Iterable[Fact | tuple] = (),
     until: float = float("inf"),
 ) -> DistributedEngine:
-    """Convenience wrapper: build an engine, run it, return it."""
+    """Convenience wrapper: build an engine (sharded when the config says
+    so), run it, return it.  Sharded engines keep their workers alive for
+    further ``run`` segments — call ``engine.close()`` when finished."""
 
-    engine = DistributedEngine(program, topology, config=config)
+    engine = create_engine(program, topology, config=config)
     engine.run(until=until, extra_facts=extra_facts)
     return engine

@@ -21,11 +21,18 @@ _QueueEntry = tuple[float, int, "Event"]
 
 @dataclass(slots=True)
 class Event:
-    """A scheduled callback with a human-readable kind tag."""
+    """A scheduled callback with a human-readable kind tag.
+
+    ``target`` optionally names the entity the event belongs to (the
+    distributed engine tags per-node batch flushes with the node id), so
+    schedulers layered on top — the shard coordinator — can recognize and
+    coalesce same-timestamp events without inspecting callbacks.
+    """
 
     kind: str
     callback: Callable[[], None]
     detail: str = ""
+    target: object = None
 
 
 class EventScheduler:
@@ -36,6 +43,9 @@ class EventScheduler:
         self._counter = itertools.count()
         self.now: float = 0.0
         self.processed: int = 0
+        #: events the current :meth:`run` call may still process; shared
+        #: with :meth:`pop_if` so out-of-band pops consume the same budget
+        self._budget: float = float("inf")
 
     def schedule(self, delay: float, event: Event) -> float:
         """Schedule an event ``delay`` seconds from the current time."""
@@ -75,18 +85,43 @@ class EventScheduler:
         reached, or ``max_events`` have been processed.  Returns the number
         of events processed by this call."""
 
-        processed = 0
-        while self._queue and processed < max_events:
-            if self._queue[0][0] > until:
-                break
-            at, _, event = heapq.heappop(self._queue)
-            self.now = at
-            event.callback()
-            processed += 1
-            self.processed += 1
+        start = self.processed
+        self._budget = max_events
+        try:
+            while self._queue and self._budget > 0:
+                if self._queue[0][0] > until:
+                    break
+                at, _, event = heapq.heappop(self._queue)
+                self.now = at
+                self._budget -= 1
+                self.processed += 1
+                event.callback()
+        finally:
+            self._budget = float("inf")
         if self._queue and self._queue[0][0] > until and until != float("inf"):
             self.now = until
-        return processed
+        return self.processed - start
+
+    def pop_if(self, match: Callable[[float, Event], bool]) -> Optional[Event]:
+        """Pop and return the head event when ``match(time, event)`` holds.
+
+        The pop counts against the enclosing :meth:`run` call's event budget
+        exactly as if the run loop had processed it (the caller is taking
+        over that event's execution), so engines that coalesce events — the
+        shard coordinator batching same-timestamp flushes — keep byte-
+        identical budget semantics with the one-at-a-time loop.
+        """
+
+        if not self._queue or self._budget <= 0:
+            return None
+        at, _, event = self._queue[0]
+        if not match(at, event):
+            return None
+        heapq.heappop(self._queue)
+        self.now = at
+        self._budget -= 1
+        self.processed += 1
+        return event
 
     def step(self) -> bool:
         """Process a single event.  Returns False when the queue is empty."""

@@ -1,0 +1,594 @@
+"""Per-node fixpoint execution, shared by the engine and shard workers.
+
+:class:`FixpointExecutor` is the node-local half of the distributed runtime:
+given one node's queued ops (``insert`` / ``retract`` / ``delete`` /
+``expire`` / ``displace``) it runs the batched retraction-aware semi-naive
+rounds (or the monotonic / per-tuple variants) against that node's database
+and *emits* the externally visible effects through two callbacks:
+
+* ``record_change(now, node_id, predicate, values, kind)`` — a tuple was
+  inserted/replaced/deleted at the node;
+* ``send(src, dst, predicate, values, kind)`` — a derived tuple (or a
+  retraction of one) is addressed to another node.
+
+Everything the executor touches is local to one node (its
+:class:`~repro.dn.node.Node` database, view memos, and displacement marks)
+plus immutable per-program state built once at construction (trigger maps,
+compiled negation-delta variants).  This locality is what makes the sharded
+engine (:mod:`repro.dn.shard`) possible: a worker process hosts the nodes of
+its shard and runs the *identical* code the single-process engine runs, with
+the callbacks collecting effects to replay at the coordinator instead of
+recording/sending directly.  Determinism of the split therefore reduces to
+determinism of this class, which both execution modes share.
+
+The op-queue semantics (deletion sub-rounds before insertion sub-rounds,
+FIFO prefixes cut at opposite-direction duplicates, keyed displacement
+re-queues, aggregate recompute-and-diff at quiescence) are documented on
+:meth:`FixpointExecutor.settle` and were previously private methods of
+:class:`~repro.dn.engine.DistributedEngine`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Mapping, Optional
+
+from ..ndlog.aggregates import diff_rows
+from ..ndlog.ast import Program, Rule
+from ..ndlog.plan import NEGATION_DELTA_SUFFIX, RuleFiring
+from ..ndlog.seminaive import DeltaIndex, RuleEngine, row_key
+from .node import Node
+
+#: an op queued for a node: ``(kind, predicate, values)`` with kind one of
+#: insert / retract (counted) / delete (forced) / expire (forced,
+#: lifetime-checked) / displace (forced, key-marked) / purge (forced,
+#: consistency-sweep removal of an underivable derived row)
+Op = tuple[str, str, tuple]
+
+RecordChange = Callable[[float, object, str, tuple, str], None]
+Send = Callable[[object, object, str, tuple, str], None]
+
+
+class FixpointExecutor:
+    """Runs one node's delta batches to a local fixpoint.
+
+    Holds the per-program execution state shared by every node (trigger
+    maps, the per-delta plain/aggregate split memo, compiled negation-delta
+    variants, head-rule index for keyed refills) and the two effect
+    callbacks.  Stateless across calls apart from those caches, so a single
+    executor serves all nodes of an engine or shard worker.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        rule_engine: RuleEngine,
+        *,
+        batch_deltas: bool = True,
+        retract_derivations: bool = True,
+        build_rule_state: bool = True,
+        record_change: RecordChange,
+        send: Send,
+    ) -> None:
+        self.program = program
+        self.rule_engine = rule_engine
+        self.batch_deltas = batch_deltas
+        self.retract_derivations = retract_derivations
+        self.record_change = record_change
+        self.send = send
+        # rules indexed by the body predicates that can trigger them, plus a
+        # memo of the per-delta plain/aggregate split (computed once per
+        # distinct delta-predicate set instead of once per delivery round)
+        self._triggers: dict[str, list[Rule]] = {}
+        self._rule_order: dict[int, int] = {
+            id(rule): index for index, rule in enumerate(program.rules)
+        }
+        for rule in program.rules:
+            for predicate in set(rule.body_predicates()):
+                self._triggers.setdefault(predicate, []).append(rule)
+        self._trigger_cache: dict[
+            frozenset[str], tuple[tuple[Rule, ...], tuple[Rule, ...]]
+        ] = {}
+        #: negated predicate → compiled negation-delta variant rules, and
+        #: head predicate → non-aggregate rules deriving it (for keyed
+        #: refills); only built when retraction semantics are on
+        self._negation_triggers: dict[str, list[Rule]] = {}
+        self._head_rules: dict[str, list[Rule]] = {}
+        #: head predicate → deriving rules, restricted to predicates whose
+        #: every derivation is *purely local* (head stored at the deriving
+        #: node) — the predicates :meth:`_consistency_sweep` may repair
+        self._sweep_rules: dict[str, tuple[Rule, ...]] = {}
+        #: predicates seeded with base facts (injected, not derived): the
+        #: sweep must never judge them by rule derivability
+        self._protected: set[str] = set()
+        # build_rule_state=False skips the retraction-state compilation for
+        # executors that never drain (the sharded coordinator keeps one only
+        # for its sweep-protection set; its workers build the full state)
+        if retract_derivations and build_rule_state:
+            for rule in program.rules:
+                for predicate, variant in rule_engine.negation_variants(rule):
+                    self._negation_triggers.setdefault(predicate, []).append(variant)
+                if not rule.head.has_aggregate:
+                    self._head_rules.setdefault(rule.head.predicate, []).append(rule)
+            aggregate_heads = {
+                rule.head.predicate for rule in program.rules if rule.head.has_aggregate
+            }
+            for predicate, rules in self._head_rules.items():
+                if predicate in aggregate_heads:
+                    continue  # view-maintained (recompute-and-diff) predicates
+                if all(self._purely_local(rule) for rule in rules):
+                    self._sweep_rules[predicate] = tuple(rules)
+
+    @staticmethod
+    def _purely_local(rule: Rule) -> bool:
+        """Does every firing of ``rule`` store its head at the firing node?
+
+        True when the head has no location (never shipped) or its location
+        variable is the rule's body site variable (post-localization every
+        positive body literal reads at one site).  Only such predicates can
+        be judged — and repaired — from one node's tables alone.
+        """
+
+        head_location = rule.head.location
+        if head_location is None:
+            return True
+        head_term = rule.head.plain_args()[head_location]
+        body_terms = [
+            lit.location_term
+            for lit in rule.positive_literals
+            if lit.location is not None
+        ]
+        return bool(body_terms) and all(term == head_term for term in body_terms)
+
+    def protect(self, predicate: str) -> bool:
+        """Exclude a predicate from consistency sweeps (it carries injected
+        base facts, which no rule needs to re-derive).  Returns ``True``
+        when the predicate was not protected before."""
+
+        if predicate in self._protected:
+            return False
+        self._protected.add(predicate)
+        return True
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def drain(self, node: Node, ops, now: float) -> None:
+        """Process a node's queued ops in batched semi-naive rounds.
+
+        Each round drains every queued op (everything that arrived at this
+        timestamp, plus everything derived/retracted locally by the previous
+        round): deletions first (retraction joins fire against the old
+        database), then insertions, then triggered aggregate recomputation.
+        """
+
+        queue: deque[Op] = deque(ops)
+        if not self.retract_derivations:
+            while queue:
+                delta: dict[str, list[tuple]] = {}
+                while queue:
+                    _, predicate, values = queue.popleft()
+                    if self._apply_insert(node, predicate, values, now):
+                        delta.setdefault(predicate, []).append(values)
+                if not delta:
+                    continue
+                plain, aggregate = self.triggered_rules(delta)
+                # one shared view so the delta is copied/grouped once per
+                # round, not once per triggered rule
+                view = DeltaIndex(delta)
+                for rule in plain:
+                    self._dispatch(node, node.fire(rule, delta=view), queue, now)
+                # aggregate recomputation is deferred to the end of the batch
+                # so large deltas pay one recomputation instead of one per
+                # tuple
+                for rule in aggregate:
+                    self._dispatch(node, node.fire(rule), queue, now)
+            return
+        self.settle(node, queue, now)
+
+    def apply_op(self, node: Node, op: Op, now: float) -> None:
+        """Per-tuple processing (``batch_deltas=False``): one op, applied
+        immediately; locally-derived heads recurse through this method the
+        way the pipelined engine recursed through its delivery path."""
+
+        if op[0] == "insert" and not self.retract_derivations:
+            self._apply_and_fire(node, op[1], op[2], now)
+        else:
+            self.settle(node, deque([op]), now)
+
+    # ------------------------------------------------------------------
+    # Retraction-aware rounds
+    # ------------------------------------------------------------------
+    def settle(self, node: Node, queue: deque, now: float) -> None:
+        """Run a node's op queue to quiescence in retraction-aware rounds.
+
+        Each round batches a FIFO prefix of the queue, split into a
+        deletion sub-round (processed first, so retraction joins see the
+        old database) and an insertion sub-round.  The prefix is cut at the
+        first op whose tuple already appeared in the **opposite direction**
+        within the round: an assertion and a later retraction of the same
+        tuple (e.g. a derivation shipped and then withdrawn by a keyed
+        displacement, both landing in one flush) must cancel in arrival
+        order — processing the retraction first would drop it as stale and
+        leave the row forever.  Cross-tuple reordering inside a round is
+        count-symmetric (both directions enumerate the same bindings), so
+        large same-timestamp batches keep firing as single semi-naive
+        rounds.  Triggered aggregate rules are recomputed once the counting
+        ops settle and diffed against the node's memoized previous output
+        so vanished groups are retracted (their diffs re-enter the queue).
+
+        Once the queue and the aggregate recomputation both quiesce, any
+        settle that physically removed rows ends with a **consistency
+        sweep** (:meth:`_consistency_sweep`): support counts alone are not
+        exact when one tuple accrues supports from several join directions
+        across rounds but the complementary tuples of a direction are gone
+        by the time its deletion delta fires (e.g. ``bestPath`` counting
+        one support from its ``path`` delta and one from its aggregate
+        ``bestPathCost`` delta — the aggregate retraction always arrives
+        after the paths were removed, so one support would be stranded
+        forever).  The sweep re-derives the *purely local* head predicates
+        whose bodies lost rows and force-retracts stored rows that are no
+        longer derivable (re-asserting derivable rows whose key went
+        empty), restoring exact local consistency at every settle point.
+        """
+
+        changed: set[str] = set()
+        deleted: set[str] = set()
+        while queue or changed:
+            if not queue:
+                _, aggregate = self.triggered_rules(changed)
+                changed = set()
+                for rule in aggregate:
+                    self._recompute_view(node, rule, queue, now)
+                if not queue and deleted:
+                    self._consistency_sweep(node, deleted, queue, now)
+                    deleted = set()
+                continue
+            del_ops: list[Op] = []
+            ins_ops: list[Op] = []
+            seen_del: set[tuple[str, tuple]] = set()
+            seen_ins: set[tuple[str, tuple]] = set()
+            while queue:
+                kind, predicate, values = queue[0]
+                key = (predicate, row_key(tuple(values)))
+                if kind == "insert":
+                    if key in seen_del:
+                        break
+                    seen_ins.add(key)
+                    ins_ops.append(queue.popleft())
+                else:
+                    if key in seen_ins:
+                        break
+                    seen_del.add(key)
+                    del_ops.append(queue.popleft())
+            if del_ops:
+                removed = self._deletion_subround(node, del_ops, queue, now)
+                changed |= removed
+                deleted |= removed
+            if ins_ops:
+                changed |= self._insertion_subround(node, ins_ops, queue, now)
+
+    def _consistency_sweep(
+        self, node: Node, deleted: set[str], queue, now: float
+    ) -> bool:
+        """Repair purely-local derived predicates after a deletion cascade.
+
+        For every sweepable head predicate (see :meth:`_purely_local`)
+        whose deriving rules read a predicate that lost rows this settle,
+        recompute the locally-derivable row set and diff it against the
+        stored table: stored-but-underivable rows are force-retracted
+        (``purge`` ops — recorded as ``retract``), derivable rows whose
+        primary key went empty are re-asserted.  Stored rows that *are*
+        derivable are left alone (so equal-cost tie winners are not
+        churned), and predicates carrying injected base facts
+        (:meth:`protect`) are skipped.  Sound at settle points because a
+        purely-local predicate's entire support is in this node's tables.
+        Enqueued ops run through the normal rounds, so cascades (and their
+        own sweeps) follow until the node is exactly consistent.
+        """
+
+        progressed = False
+        for predicate, rules in self._sweep_rules.items():
+            if predicate in self._protected:
+                continue
+            if not any(
+                body in deleted for rule in rules for body in rule.body_predicates()
+            ):
+                continue
+            table = node.db.table(predicate)
+            derivable: dict[tuple, tuple] = {}
+            for rule in rules:
+                for firing in node.derive(rule):
+                    values = firing.values
+                    location = firing.location
+                    destination = values[location] if location is not None else None
+                    if destination is None or destination == node.id:
+                        derivable[row_key(values)] = values
+            stored = {row_key(row): row for row in table.rows()}
+            for key, row in stored.items():
+                if key not in derivable:
+                    queue.append(("purge", predicate, row))
+                    progressed = True
+            for key, row in derivable.items():
+                if key not in stored and table.current(row) is None:
+                    queue.append(("insert", predicate, row))
+                    progressed = True
+        return progressed
+
+    def _deletion_subround(self, node: Node, del_ops, requeue, now: float) -> set[str]:
+        """One deletion round: decide, fire old-database joins, remove.
+
+        Counted retracts release one support, forced deletes/expiries match
+        the stored row; the retraction joins fire while the condemned rows
+        are still stored (the deletion delta joins against the *old*
+        database) and only then are the rows removed.  Returns the changed
+        predicates.
+        """
+
+        changed: set[str] = set()
+        if del_ops:
+            removed: dict[str, list[tuple]] = {}
+            decided: list[tuple[str, tuple, str]] = []
+            displacing: set[tuple[str, tuple]] = set()
+            seen: set[tuple[str, tuple]] = set()
+            pending_inserts: Optional[set[tuple]] = None
+            for kind, predicate, values in del_ops:
+                table = node.db.table(predicate)
+                row = tuple(values)
+                if kind == "retract":
+                    if table.current(row) != row:
+                        if pending_inserts is None:
+                            pending_inserts = {
+                                (op[1], row_key(tuple(op[2])))
+                                for op in requeue
+                                if op[0] == "insert"
+                            }
+                        if (predicate, row_key(row)) in pending_inserts:
+                            # the retracted row is not the stored one under
+                            # its key, but its insertion is still pending in
+                            # this settle: a keyed displacement re-queued the
+                            # insert behind us (jumping it over this
+                            # retract), so the retract must defer until the
+                            # insert lands or the pair cancels — dropping it
+                            # as stale would let the re-insert resurrect a
+                            # withdrawn derivation
+                            requeue.append((kind, predicate, values))
+                            continue
+                    if not table.release(row):
+                        continue
+                elif kind == "expire":
+                    if not table.row_expired(row, now):
+                        continue  # refreshed since the expiry scan queued it
+                elif table.current(row) != row:
+                    continue  # forced delete of a row that is gone/replaced
+                if kind == "displace":
+                    # the displacing insertion is already queued and will
+                    # occupy the key: refilling would re-derive both tie
+                    # candidates and livelock
+                    displacing.add((predicate, table.key_of(row)))
+                key = (predicate, row_key(row))
+                if key in seen:
+                    continue
+                seen.add(key)
+                removed.setdefault(predicate, []).append(row)
+                decided.append(
+                    (
+                        predicate,
+                        row,
+                        # displacements and sweep purges remove *derived*
+                        # rows: their trace kind is retract
+                        "retract" if kind in ("displace", "purge") else kind,
+                    )
+                )
+            if removed:
+                plain, _ = self.triggered_rules(removed)
+                view = DeltaIndex(removed)
+                retractions: list[RuleFiring] = []
+                for rule in plain:
+                    retractions.extend(node.derive(rule, delta=view))
+                refill: dict[str, set[tuple]] = {}
+                for predicate, row, kind in decided:
+                    marked = node.displaced.get(predicate)
+                    if marked:
+                        key = node.db.table(predicate).key_of(row)
+                        if key in marked and (predicate, key) not in displacing:
+                            marked.discard(key)
+                            refill.setdefault(predicate, set()).add(key)
+                    node.delete(predicate, row)
+                    self.record_change(now, node.id, predicate, row, kind)
+                changed.update(removed)
+                self._dispatch_retractions(node, retractions, requeue, now)
+                # rows leaving a negated predicate enable blocked bindings
+                self._fire_negation_deltas(node, removed, requeue, now, retracting=False)
+                # re-derive once-displaced keys whose stored row is now gone
+                # (the displaced alternatives' support counts were destroyed)
+                for predicate, keys in refill.items():
+                    table = node.db.table(predicate)
+                    for rule in self._head_rules.get(predicate, ()):
+                        for firing in node.derive(rule):
+                            values = firing.values
+                            location = firing.location
+                            destination = (
+                                values[location] if location is not None else None
+                            )
+                            if destination is not None and destination != node.id:
+                                continue  # only locally stored rows refill
+                            if (
+                                table.key_of(values) in keys
+                                and table.current(values) is None
+                            ):
+                                requeue.append(("insert", predicate, values))
+        return changed
+
+    def _insertion_subround(self, node: Node, ins_ops, requeue, now: float) -> set[str]:
+        """One insertion round: apply, fire insertion deltas, dispatch.
+
+        Keyed displacements are rerouted through the deletion path first
+        (``requeue``: a ``displace`` of the old row, then the retried
+        insert), preserving FIFO order.  Returns the changed predicates.
+        """
+
+        changed: set[str] = set()
+        if ins_ops:
+            delta: dict[str, list[tuple]] = {}
+            for _, predicate, values in ins_ops:
+                table = node.db.table(predicate)
+                row = tuple(values)
+                # only keyed tables can displace (keyless rows are their own
+                # key, so an existing different row is impossible)
+                previous = table.current(row) if table.keys else None
+                if previous is not None and previous != row:
+                    # keyed displacement (e.g. a link cost change): retract
+                    # the displaced row's consequences before re-inserting,
+                    # and remember the key for refills (see deletion round)
+                    node.displaced.setdefault(predicate, set()).add(
+                        table.key_of(row)
+                    )
+                    requeue.append(("displace", predicate, previous))
+                    requeue.append(("insert", predicate, row))
+                    continue
+                if self._apply_insert(node, predicate, row, now):
+                    delta.setdefault(predicate, []).append(row)
+            if delta:
+                plain, _ = self.triggered_rules(delta)
+                view = DeltaIndex(delta)
+                for rule in plain:
+                    self._dispatch(node, node.derive(rule, delta=view), requeue, now)
+                changed.update(delta)
+                # rows entering a negated predicate block bindings that
+                # relied on their absence
+                self._fire_negation_deltas(node, delta, requeue, now, retracting=True)
+        return changed
+
+    def _fire_negation_deltas(
+        self,
+        node: Node,
+        changed: Mapping[str, list[tuple]],
+        queue,
+        now: float,
+        *,
+        retracting: bool,
+    ) -> None:
+        """Fire negation-delta variants for changed negated predicates."""
+
+        for predicate, rows in changed.items():
+            variants = self._negation_triggers.get(predicate)
+            if not variants:
+                continue
+            delta = {predicate + NEGATION_DELTA_SUFFIX: rows}
+            for variant in variants:
+                firings = node.derive(variant, delta=delta)
+                if retracting:
+                    self._dispatch_retractions(node, firings, queue, now)
+                else:
+                    self._dispatch(node, firings, queue, now)
+
+    def _recompute_view(self, node: Node, rule: Rule, queue, now: float) -> None:
+        """Recompute an aggregate rule and diff against the node's memo."""
+
+        firings = node.fire(rule)
+        added, removed, rows = diff_rows(
+            node.view_memo.get(id(rule), set()), (f.values for f in firings)
+        )
+        node.view_memo[id(rule)] = rows
+        if not added and not removed:
+            return
+        predicate = rule.head.predicate
+        location = rule.head.location
+        name = rule.name
+        # removals first so a keyed aggregate table retracts the stale group
+        # value before the replacement asserts
+        self._dispatch_retractions(
+            node, [RuleFiring(name, predicate, row, location) for row in removed],
+            queue, now,
+        )
+        self._dispatch(
+            node, [RuleFiring(name, predicate, row, location) for row in added],
+            queue, now,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+    def _apply_insert(self, node: Node, predicate: str, values: tuple, now: float) -> bool:
+        """Insert one tuple into a node's store, recording the change."""
+
+        changed, table = node.upsert(predicate, values, now)
+        if not changed:
+            return False
+        kind = "replace" if table.keys else "insert"
+        self.record_change(now, node.id, predicate, values, kind)
+        return True
+
+    def _dispatch(self, node: Node, firings, queue, now: float) -> None:
+        """Route derived tuples: local heads re-enter the node's delta queue
+        (or recurse in per-tuple mode), remote heads become sends."""
+
+        node_id = node.id
+        for firing in firings:
+            values = firing.values
+            location = firing.location
+            destination = values[location] if location is not None else None
+            if destination is None or destination == node_id:
+                if self.batch_deltas:
+                    queue.append(("insert", firing.predicate, values))
+                else:
+                    self.apply_op(node, ("insert", firing.predicate, values), now)
+            else:
+                self.send(node_id, destination, firing.predicate, values, "assert")
+
+    def _dispatch_retractions(self, node: Node, firings, queue, now: float) -> None:
+        """Route lost derivations: local heads queue counted retract ops,
+        remote heads become retraction sends."""
+
+        node_id = node.id
+        for firing in firings:
+            values = firing.values
+            location = firing.location
+            destination = values[location] if location is not None else None
+            if destination is None or destination == node_id:
+                if self.batch_deltas:
+                    queue.append(("retract", firing.predicate, values))
+                else:
+                    self.apply_op(node, ("retract", firing.predicate, values), now)
+            else:
+                self.send(node_id, destination, firing.predicate, values, "retract")
+
+    def triggered_rules(
+        self, delta
+    ) -> tuple[tuple[Rule, ...], tuple[Rule, ...]]:
+        """Rules triggered by any delta predicate, deduplicated and split
+        into (non-aggregate, aggregate) in program order.
+
+        Memoized per delta-predicate set: delivery rounds repeat the same
+        handful of predicate combinations, so the dedup/sort happens once
+        per combination for the whole run instead of once per round.
+        """
+
+        key = frozenset(delta)
+        cached = self._trigger_cache.get(key)
+        if cached is None:
+            seen: dict[int, Rule] = {}
+            for predicate in key:
+                for rule in self._triggers.get(predicate, ()):
+                    seen.setdefault(id(rule), rule)
+            ordered = sorted(seen.values(), key=lambda r: self._rule_order[id(r)])
+            cached = (
+                tuple(r for r in ordered if not r.head.has_aggregate),
+                tuple(r for r in ordered if r.head.has_aggregate),
+            )
+            self._trigger_cache[key] = cached
+        return cached
+
+    def _apply_and_fire(self, node: Node, predicate: str, values: tuple, now: float) -> None:
+        """The original per-tuple pipelined firing (monotonic mode)."""
+
+        if not self._apply_insert(node, predicate, values, now):
+            return
+        delta = {predicate: [values]}
+        for rule in self._triggers.get(predicate, ()):
+            if rule.head.has_aggregate:
+                firings = node.fire(rule)
+            else:
+                firings = node.fire(rule, delta=delta)
+            self._dispatch(node, firings, None, now)

@@ -12,6 +12,7 @@ snapshot and compare against the centralized evaluator.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional
 
@@ -23,7 +24,14 @@ from .network import NodeId
 
 @dataclass(slots=True)
 class NodeStats:
-    """Counters kept per node."""
+    """Counters kept per node.
+
+    In sharded runs (:mod:`repro.dn.shard`) the counters are split by
+    ownership: message and tuple counters are authoritative at the
+    coordinator (its replay performs the same inserts/deletes the worker
+    did), while ``rule_firings`` only happens at the owning worker and is
+    folded back through :meth:`as_dict` after each run segment.
+    """
 
     messages_sent: int = 0
     messages_received: int = 0
@@ -31,6 +39,11 @@ class NodeStats:
     tuples_replaced: int = 0
     tuples_deleted: int = 0
     rule_firings: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-data view (shard stats sync, run records, tests)."""
+
+        return dataclasses.asdict(self)
 
 
 class Node:

@@ -1,0 +1,546 @@
+"""Process-sharded execution of the distributed NDlog engine.
+
+This module scales one simulated network past a single core while keeping
+the execution **byte-identical** to :class:`~repro.dn.engine.
+DistributedEngine` for the same seed — same :class:`~repro.dn.trace.Trace`
+contents, same monitor verdicts, same retraction semantics, same event and
+budget accounting.  The split follows from a locality argument:
+
+* Everything *global* stays in the coordinator: the event scheduler (and
+  its FIFO tie-breaking, which defines the global event order), the loss
+  channel and its RNG stream, the trace, the runtime monitors, topology
+  dynamics, and the per-node pending-op queues.
+* Everything *expensive* is per-node and moves to the workers: each shard
+  worker process owns the authoritative :class:`~repro.dn.node.Node`
+  databases of its partition and runs the identical
+  :class:`~repro.dn.executor.FixpointExecutor` the single-process engine
+  runs.  A drain touches exactly one node, so all flushes scheduled at one
+  timestamp are independent and execute **in parallel across shards**.
+
+The coordinator batches every same-timestamp flush event (taking them off
+the scheduler through :meth:`~repro.dn.events.EventScheduler.pop_if`, which
+preserves event-budget accounting), fans the op batches out to the shard
+workers, then **replays** the returned effects in the exact order the
+single-process engine would have produced them: state-change records update
+a coordinator-side replica of every node table (so ``engine.rows()``,
+``global_snapshot()``, post-hoc property checks, and the soft-state monitor
+keep working unmodified) and feed the trace and monitors; send intents go
+through the coordinator's own ``_send``, so loss-channel RNG draws happen
+in the same global order as single-process execution.  Cross-shard and
+intra-shard messages take the same path — shipping is the coordinator's
+job either way, which is precisely why the replay order can be made
+identical.
+
+Determinism contract: for equal programs, topologies, configs and seeds,
+``ShardedEngine`` and ``DistributedEngine`` produce equal traces
+(``Trace.fingerprint()``), node tables, stats, and monitor reports — for
+every shard count, partition strategy, and transport.  The property tests
+in ``tests/dn/test_sharded_engine.py`` and the E10 benchmark enforce this.
+
+``EngineConfig(shard_transport="process")`` (the default) runs one worker
+OS process per shard, talking over pipes; ``"inline"`` hosts the workers
+in-process for tests and debugging (same code path minus the IPC).  Use
+:func:`repro.dn.engine.create_engine` to build whichever engine a config
+asks for, and ``close()`` a sharded engine when done — its replicated
+state stays readable afterwards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Optional
+
+from ..logic.bmc import FunctionRegistry
+from ..ndlog.ast import Program
+from ..ndlog.functions import builtin_registry
+from ..ndlog.localization import localize_program
+from ..ndlog.seminaive import RuleEngine
+from .engine import DistributedEngine, EngineConfig
+from .executor import FixpointExecutor, Op
+from .network import NodeId, Topology
+from .node import Node
+from .partition import edge_cut, partition_nodes, shard_members
+
+#: a state change collected at a worker: (node, predicate, values, kind)
+ChangeRecord = tuple[NodeId, str, tuple, str]
+#: a send intent collected at a worker: (src, dst, predicate, values, kind)
+SendRecord = tuple[NodeId, NodeId, str, tuple, str]
+
+
+class ShardError(RuntimeError):
+    """A shard worker failed or the sharded engine was misused."""
+
+
+class ShardWorker:
+    """Worker-side state of one shard: authoritative nodes + executor.
+
+    Hosts the :class:`~repro.dn.node.Node` objects of its partition and the
+    same :class:`FixpointExecutor` the single-process engine uses; instead
+    of recording/sending directly, the executor's effect callbacks collect
+    ``(records, sends)`` for the coordinator to replay.  Methods map 1:1
+    onto the request protocol of :class:`ProcessShardClient`.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        node_ids: list[NodeId],
+        config: EngineConfig,
+        registry: Optional[FunctionRegistry] = None,
+    ) -> None:
+        program.check()
+        self.program = localize_program(program).program
+        self.registry = registry or builtin_registry()
+        self.rule_engine = RuleEngine(
+            self.registry,
+            use_indexes=config.use_indexes,
+            compile_rules=config.compile_rules,
+        )
+        self.rule_engine.precompile(self.program.rules)
+        self.nodes: dict[NodeId, Node] = {
+            node_id: Node(node_id, self.program, rule_engine=self.rule_engine)
+            for node_id in node_ids
+        }
+        self._records: list[ChangeRecord] = []
+        self._sends: list[SendRecord] = []
+        self.executor = FixpointExecutor(
+            self.program,
+            self.rule_engine,
+            batch_deltas=config.batch_deltas,
+            retract_derivations=config.retract_derivations,
+            record_change=self._collect_change,
+            send=self._collect_send,
+        )
+
+    # -- executor effect sinks ---------------------------------------------
+    def _collect_change(
+        self, now: float, node_id: NodeId, predicate: str, values: tuple, kind: str
+    ) -> None:
+        self._records.append((node_id, predicate, values, kind))
+
+    def _collect_send(
+        self, src: NodeId, dst: NodeId, predicate: str, values: tuple, kind: str
+    ) -> None:
+        self._sends.append((src, dst, predicate, values, kind))
+
+    def _collected(self) -> tuple[list[ChangeRecord], list[SendRecord]]:
+        records, sends = self._records, self._sends
+        self._records, self._sends = [], []
+        return records, sends
+
+    # -- request protocol --------------------------------------------------
+    def flush_batch(
+        self, now: float, items: list[tuple[NodeId, list[Op]]]
+    ) -> list[tuple[list[ChangeRecord], list[SendRecord]]]:
+        """Drain each node's op batch to a local fixpoint, in order."""
+
+        out = []
+        for node_id, ops in items:
+            self.executor.drain(self.nodes[node_id], ops, now)
+            out.append(self._collected())
+        return out
+
+    def apply_op(
+        self, now: float, node_id: NodeId, op: Op
+    ) -> tuple[list[ChangeRecord], list[SendRecord]]:
+        """Per-tuple mode: apply one op (recursing through local firings)."""
+
+        self.executor.apply_op(self.nodes[node_id], op, now)
+        return self._collected()
+
+    def refresh(self, now: float, items: list[tuple[NodeId, str, tuple]]) -> None:
+        """Extend soft-state lifetimes (keeps worker expiry timestamps in
+        lock-step with the coordinator's replica)."""
+
+        for node_id, predicate, values in items:
+            self.nodes[node_id].db.table(predicate).refresh(tuple(values), now)
+
+    def delete_row(self, now: float, node_id: NodeId, predicate: str, values: tuple) -> bool:
+        """Monotonic-mode forced removal of a base row."""
+
+        return self.nodes[node_id].delete(predicate, tuple(values))
+
+    def expire_monotonic(self, now: float, node_id: NodeId) -> dict[str, list[tuple]]:
+        """Monotonic-mode physical expiry sweep of one node."""
+
+        removed = self.nodes[node_id].db.expire(now)
+        for rows in removed.values():
+            self.nodes[node_id].stats.tuples_deleted += len(rows)
+        return removed
+
+    def protect(self, predicate: str) -> None:
+        """Mirror the coordinator's sweep exemptions (injected base facts)."""
+
+        self.executor.protect(predicate)
+
+    def node_stats(self) -> dict[NodeId, dict]:
+        return {node_id: node.stats.as_dict() for node_id, node in self.nodes.items()}
+
+    def snapshot(self) -> dict[NodeId, dict[str, set[tuple]]]:
+        return {node_id: node.snapshot() for node_id, node in self.nodes.items()}
+
+    def ping(self) -> bool:
+        return True
+
+
+def _shard_worker_main(conn, program, node_ids, config, registry) -> None:
+    """Entry point of a shard worker process: serve requests until EOF."""
+
+    try:
+        worker = ShardWorker(program, node_ids, config, registry)
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+        return
+    conn.send(("ok", True))  # construction handshake
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return
+        method, args = message
+        if method == "shutdown":
+            conn.send(("ok", True))
+            return
+        try:
+            result = getattr(worker, method)(*args)
+        except BaseException:
+            conn.send(("error", traceback.format_exc()))
+        else:
+            conn.send(("ok", result))
+
+
+class InlineShardClient:
+    """In-process shard transport: direct calls into a :class:`ShardWorker`.
+
+    Same request surface as :class:`ProcessShardClient`, no IPC — used by
+    differential tests (and empty shards) so hypothesis sweeps don't pay a
+    process spawn per example.
+    """
+
+    def __init__(self, worker: ShardWorker) -> None:
+        self.worker = worker
+        self._result = None
+
+    def submit(self, method: str, args: tuple) -> None:
+        self._result = getattr(self.worker, method)(*args)
+
+    def result(self):
+        result, self._result = self._result, None
+        return result
+
+    def call(self, method: str, args: tuple = ()):
+        self.submit(method, args)
+        return self.result()
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessShardClient:
+    """One shard worker OS process, spoken to over a pipe.
+
+    The protocol is strictly one outstanding request per client
+    (``submit`` → ``result``), so coordinators can submit to every shard
+    and collect in a fixed order without deadlock.  Worker tracebacks are
+    re-raised here as :class:`ShardError`.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        node_ids: list[NodeId],
+        config: EngineConfig,
+        registry: Optional[FunctionRegistry] = None,
+    ) -> None:
+        # fork is the cheap path on Linux (no pickling of the program);
+        # fall back to the platform default where fork is unavailable
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context()
+        self._conn, child = context.Pipe()
+        self._process = context.Process(
+            target=_shard_worker_main,
+            args=(child, program, node_ids, config, registry),
+            daemon=True,
+            name=f"fvn-shard-{node_ids[:1]}",
+        )
+        self._process.start()
+        child.close()
+        self._pending = True  # construction handshake
+        self.result()
+
+    def submit(self, method: str, args: tuple) -> None:
+        if self._pending:
+            raise ShardError("previous shard request not collected")
+        try:
+            self._conn.send((method, args))
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardError(f"shard worker is gone: {exc}") from exc
+        self._pending = True
+
+    def result(self):
+        if not self._pending:
+            raise ShardError("no shard request outstanding")
+        try:
+            status, payload = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ShardError(f"shard worker died mid-request: {exc}") from exc
+        finally:
+            self._pending = False
+        if status == "error":
+            raise ShardError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def call(self, method: str, args: tuple = ()):
+        self.submit(method, args)
+        return self.result()
+
+    def close(self) -> None:
+        if self._process.is_alive():
+            try:
+                self.call("shutdown")
+            except ShardError:
+                pass
+        self._conn.close()
+        self._process.join(timeout=5)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(timeout=5)
+
+
+class ShardedEngine(DistributedEngine):
+    """The shard coordinator: a :class:`DistributedEngine` whose node
+    fixpoints execute on shard workers.
+
+    The inherited machinery — scheduler, channel, trace, monitors, pending
+    queues, soft-state scans, topology dynamics — runs unchanged; the
+    inherited ``self.nodes`` become a **replica** maintained by replaying
+    worker change records, so every read API (``rows``,
+    ``global_snapshot``, monitor table access, post-hoc checks) works
+    as on the single-process engine.  See the module docstring for the
+    determinism argument.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        topology: Topology,
+        *,
+        config: Optional[EngineConfig] = None,
+        registry: Optional[FunctionRegistry] = None,
+    ) -> None:
+        super().__init__(program, topology, config=config, registry=registry)
+        cfg = self.config
+        if cfg.shards < 1:
+            raise ShardError(f"shards must be >= 1, got {cfg.shards}")
+        if cfg.shard_transport not in ("process", "inline"):
+            raise ShardError(
+                f"unknown shard transport {cfg.shard_transport!r}; "
+                "expected 'process' or 'inline'"
+            )
+        #: node id → shard index (deterministic; see :mod:`repro.dn.partition`)
+        self.partition_map = partition_nodes(topology, cfg.shards, cfg.partition)
+        self._members = shard_members(self.partition_map, cfg.shards, topology.nodes)
+        self._clients: list[object] = []
+        for shard_nodes in self._members:
+            if cfg.shard_transport == "process" and shard_nodes:
+                client = ProcessShardClient(
+                    self.original_program, shard_nodes, cfg, self._registry_arg
+                )
+            else:
+                # inline transport, and empty shards (never addressed —
+                # not worth an OS process)
+                client = InlineShardClient(
+                    ShardWorker(
+                        self.original_program, shard_nodes, cfg, self._registry_arg
+                    )
+                )
+            self._clients.append(client)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Effect replay
+    # ------------------------------------------------------------------
+    def _replay(self, records: list[ChangeRecord], sends: list[SendRecord]) -> None:
+        """Re-enact one node-drain's effects at the coordinator.
+
+        Change records update the replica tables (through the same
+        ``Node.upsert``/``Node.delete`` bookkeeping the authoritative nodes
+        used, at the same timestamp — so contents, key displacement order,
+        expiry deadlines, and tuple counters all match) and then hit the
+        trace/monitors; send intents go through the inherited ``_send``,
+        drawing from the loss channel's RNG in the single-process order.
+        """
+
+        now = self.scheduler.now
+        for node_id, predicate, values, kind in records:
+            node = self.nodes[node_id]
+            if kind in ("insert", "replace"):
+                node.upsert(predicate, values, now)
+            else:
+                node.delete(predicate, values)
+            self._record_change(now, node_id, predicate, values, kind)
+        for src, dst, predicate, values, kind in sends:
+            self._send(src, dst, predicate, values, kind)
+
+    # ------------------------------------------------------------------
+    # Overridden execution hooks
+    # ------------------------------------------------------------------
+    def _flush(self, node_id: NodeId) -> None:
+        """Drain every node that has a flush queued at this timestamp.
+
+        All flush events at one timestamp are mutually independent (each
+        touches a single node, and messages they emit are delivered by
+        *later* events), so the coordinator takes them off the scheduler as
+        one wave — :meth:`EventScheduler.pop_if` keeps event/budget
+        accounting identical to popping them one by one — executes them on
+        the shard workers in parallel, and replays the results in the exact
+        order the single-process run loop would have produced them.
+        """
+
+        now = self.scheduler.now
+        self._flush_marks.pop(node_id, None)
+        wave = [node_id]
+        while True:
+            event = self.scheduler.pop_if(
+                lambda at, ev: at == now and ev.kind == "flush"
+            )
+            if event is None:
+                break
+            self._flush_marks.pop(event.target, None)
+            wave.append(event.target)
+        payloads: dict[int, list[tuple[NodeId, list[Op]]]] = {}
+        for nid in wave:
+            queue = self._pending[nid]
+            ops = list(queue)
+            queue.clear()
+            payloads.setdefault(self.partition_map[nid], []).append((nid, ops))
+        for shard, items in payloads.items():
+            self._clients[shard].submit("flush_batch", (now, items))
+        results: dict[NodeId, tuple[list, list]] = {}
+        for shard, items in payloads.items():
+            for (nid, _), result in zip(items, self._clients[shard].result()):
+                results[nid] = result
+        for nid in wave:
+            records, sends = results[nid]
+            self._replay(records, sends)
+            if self.monitors:
+                self._notify_settle(nid)
+
+    def _apply_immediate(self, node_id: NodeId, op: Op) -> None:
+        """Per-tuple mode: run the op on the owning worker, then replay."""
+
+        records, sends = self._clients[self.partition_map[node_id]].call(
+            "apply_op", (self.scheduler.now, node_id, op)
+        )
+        self._replay(records, sends)
+        if self.monitors:
+            self._notify_settle(node_id)
+
+    def _apply_refresh(self, refreshed, now: float) -> None:
+        super()._apply_refresh(refreshed, now)  # the replica's lifetimes
+        by_shard: dict[int, list] = {}
+        for item in refreshed:
+            by_shard.setdefault(self.partition_map[item[0]], []).append(item)
+        for shard, items in by_shard.items():
+            self._clients[shard].call("refresh", (now, items))
+
+    def _protect_predicate(self, predicate: str) -> None:
+        if self.executor.protect(predicate):
+            for client, members in zip(self._clients, self._members):
+                if members:
+                    client.call("protect", (predicate,))
+
+    def _monotonic_delete(self, node_id: NodeId, predicate: str, values: tuple) -> bool:
+        deleted = self._clients[self.partition_map[node_id]].call(
+            "delete_row", (self.scheduler.now, node_id, predicate, values)
+        )
+        if deleted:
+            self.nodes[node_id].delete(predicate, values)
+        return deleted
+
+    def _expire_node_monotonic(self, node, now: float) -> dict[str, list[tuple]]:
+        removed = node.db.expire(now)  # the replica agrees on what expires
+        if removed:
+            self._clients[self.partition_map[node.id]].call(
+                "expire_monotonic", (now, node.id)
+            )
+        return removed
+
+    # ------------------------------------------------------------------
+    # Lifecycle and observability
+    # ------------------------------------------------------------------
+    def run(self, *, until: float = float("inf"), extra_facts=()):
+        trace = super().run(until=until, extra_facts=extra_facts)
+        self._sync_worker_stats()
+        return trace
+
+    def _sync_worker_stats(self) -> None:
+        """Fold worker-side counters into the replica's node stats.
+
+        Message and tuple counters are maintained coordinator-side by the
+        replay (and match the workers' by construction); rule firings only
+        happen at the workers, so they are fetched here after each run
+        segment.
+        """
+
+        for shard, members in enumerate(self._members):
+            if not members:
+                continue
+            for node_id, stats in self._clients[shard].call("node_stats").items():
+                self.nodes[node_id].stats.rule_firings = stats["rule_firings"]
+
+    def validate_shards(self) -> None:
+        """Assert the coordinator replica matches every worker's tables.
+
+        A debugging/testing aid: compares the non-empty table contents of
+        each authoritative worker node against the replica the replay
+        maintained.  Raises :class:`ShardError` on any divergence.
+        """
+
+        for shard, members in enumerate(self._members):
+            if not members:
+                continue
+            snapshots = self._clients[shard].call("snapshot")
+            for node_id, snapshot in snapshots.items():
+                theirs = {p: rows for p, rows in snapshot.items() if rows}
+                mine = {
+                    p: rows for p, rows in self.nodes[node_id].snapshot().items() if rows
+                }
+                if mine != theirs:
+                    raise ShardError(
+                        f"replica diverged from shard {shard} at node {node_id!r}: "
+                        f"coordinator={mine!r} worker={theirs!r}"
+                    )
+
+    def shard_summary(self) -> dict:
+        """Partition facts for reports: sizes, strategy, edge cut."""
+
+        return {
+            "shards": self.config.shards,
+            "partition": self.config.partition,
+            "transport": self.config.shard_transport,
+            "sizes": [len(members) for members in self._members],
+            "edge_cut": edge_cut(self.topology, self.partition_map),
+        }
+
+    def close(self) -> None:
+        """Shut the shard workers down.  The coordinator's replicated
+        state (tables, trace, stats, monitors) stays readable."""
+
+        if self._closed:
+            return
+        self._closed = True
+        for client in self._clients:
+            try:
+                client.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

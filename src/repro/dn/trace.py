@@ -9,6 +9,7 @@ convergence, Section 3.2.2).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -153,6 +154,41 @@ class Trace:
             index = int(m.time // bucket)
             hist[index] = hist.get(index, 0) + 1
         return hist
+
+    def fingerprint(self) -> str:
+        """SHA-256 digest of everything observable about the execution.
+
+        Canonicalizes the full state-change and message streams (in
+        recorded order), the event/budget accounting, and the seeds.  Two
+        runs are byte-identical executions iff their fingerprints match —
+        this is the equality the sharded engine's determinism contract is
+        stated in (``ShardedEngine`` vs ``DistributedEngine`` for the same
+        seed), and what the E10 benchmark's cross-check compares.
+        """
+
+        digest = hashlib.sha256()
+        for c in self.state_changes:
+            digest.update(
+                repr((c.time, c.node, c.predicate, c.values, c.kind)).encode()
+            )
+        digest.update(b"|messages|")
+        for m in self.messages:
+            digest.update(
+                repr(
+                    (m.time, m.src, m.dst, m.predicate, m.values, m.delivered, m.kind)
+                ).encode()
+            )
+        digest.update(
+            repr(
+                (
+                    self.events_processed,
+                    self.finished_at,
+                    self.quiescent,
+                    sorted(self.seeds.items()),
+                )
+            ).encode()
+        )
+        return digest.hexdigest()
 
     def summary(self) -> str:
         status = "quiescent" if self.quiescent else "budget-exhausted"

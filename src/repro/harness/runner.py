@@ -26,7 +26,7 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from ..bgp.generator import policy_path_vector_program
-from ..dn.engine import DistributedEngine, EngineConfig
+from ..dn.engine import DistributedEngine, EngineConfig, create_engine
 from ..fvn.monitors import MonitorSchema, build_monitor, schema_for_program
 from ..ndlog.ast import MaterializeDecl, Program
 from ..protocols.pathvector import path_vector_program
@@ -121,7 +121,10 @@ def execute_run(descriptor_data: dict) -> dict:
     scenario = _materialize(descriptor)
     program = build_program(descriptor)
     schema = schema_for_program(program)
-    engine = DistributedEngine(
+    # honors ``engine = [{shards = N}]`` / ``shards = [...]`` overrides:
+    # shards > 1 builds the process-sharded coordinator, whose results are
+    # byte-identical to the single-process engine for the same descriptor
+    engine = create_engine(
         program, scenario.topology, config=descriptor.engine_config()
     )
     monitors = [build_monitor(kind, schema) for kind in descriptor.monitors]
@@ -129,9 +132,12 @@ def execute_run(descriptor_data: dict) -> dict:
         engine.attach_monitor(monitor)
     if scenario.churn is not None:
         scenario.churn.apply_to_engine(engine)
-    trace = engine.run(
-        until=descriptor.until, extra_facts=scenario.policy_fact_list()
-    )
+    try:
+        trace = engine.run(
+            until=descriptor.until, extra_facts=scenario.policy_fact_list()
+        )
+    finally:
+        engine.close()  # a no-op single-process; frees shard workers
     engine.finalize_monitors()
     trace.seeds["scenario"] = descriptor.seed
     stale = missing = None

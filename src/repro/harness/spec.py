@@ -119,6 +119,11 @@ class CampaignSpec:
     churn_events: tuple[int, ...] = (0,)
     loss: tuple[float, ...] = (0.0,)
     engine: tuple[dict, ...] = field(default_factory=lambda: ({},))
+    #: shard-count axis: each value is merged into every engine override as
+    #: ``shards=N`` (``shards = [1, 4]`` sweeps single-process vs 4-way
+    #: sharded).  The default ``(1,)`` adds nothing, so specs written
+    #: before sharding keep their exact run ids and descriptor bytes.
+    shards: tuple[int, ...] = (1,)
     # -- shared run parameters --------------------------------------------
     churn_start: float = 1.0
     churn_spacing: float = 0.5
@@ -142,6 +147,7 @@ class CampaignSpec:
         self.churn_events = tuple(int(c) for c in self.churn_events)
         self.loss = tuple(float(value) for value in self.loss)
         self.engine = tuple(dict(entry) for entry in self.engine) or ({},)
+        self.shards = tuple(int(s) for s in self.shards) or (1,)
         self.soft_state = {str(k): float(v) for k, v in dict(self.soft_state).items()}
         self.monitors = tuple(self.monitors)
         self.validate()
@@ -174,6 +180,9 @@ class CampaignSpec:
                 )
         if not (self.families and self.sizes and self.policies and self.seeds):
             raise SpecError("families, sizes, policies, and seeds must be non-empty")
+        for shard_count in self.shards:
+            if shard_count < 1:
+                raise SpecError("shards values must be >= 1")
         for size in self.sizes:
             if size < 1:
                 raise SpecError("sizes must be positive")
@@ -191,6 +200,7 @@ class CampaignSpec:
             * len(self.churn_events)
             * len(self.loss)
             * len(self.engine)
+            * len(self.shards)
             * len(self.seeds)
         )
 
@@ -205,6 +215,11 @@ class CampaignSpec:
 
         descriptors: list[RunDescriptor] = []
         soft_state = tuple(sorted(self.soft_state.items()))
+        # the default (1,) axis leaves descriptors (and so run ids, ledgers,
+        # and resume matching) byte-identical to pre-sharding campaigns; an
+        # explicit axis merges ``shards=N`` into each engine override and
+        # tags the run id
+        legacy_shards = self.shards == (1,)
         index = 0
         for family in self.families:
             for size in self.sizes:
@@ -212,12 +227,18 @@ class CampaignSpec:
                     for churn in self.churn_events:
                         for loss in self.loss:
                             for engine_index, overrides in enumerate(self.engine):
-                                engine = tuple(sorted(overrides.items()))
+                              for shard_count in self.shards:
+                                merged = dict(overrides)
+                                shard_tag = ""
+                                if not legacy_shards:
+                                    merged["shards"] = shard_count
+                                    shard_tag = f"-sh{shard_count}"
+                                engine = tuple(sorted(merged.items()))
                                 for seed in self.seeds:
                                     run_id = (
                                         f"{index:04d}-{family}-{size}"
                                         f"-{policy or NO_POLICY}-c{churn}-l{loss:g}"
-                                        f"-e{engine_index}-s{seed}"
+                                        f"-e{engine_index}{shard_tag}-s{seed}"
                                     )
                                     descriptors.append(
                                         RunDescriptor(
@@ -250,7 +271,7 @@ class CampaignSpec:
         out = asdict(self)
         out["policies"] = [p or NO_POLICY for p in self.policies]
         out["engine"] = [dict(entry) for entry in self.engine]
-        for key in ("families", "sizes", "seeds", "churn_events", "loss", "monitors"):
+        for key in ("families", "sizes", "seeds", "churn_events", "loss", "monitors", "shards"):
             out[key] = list(out[key])
         return out
 
@@ -270,7 +291,7 @@ class CampaignSpec:
 def _scalars_to_axes(data: dict) -> dict:
     """Allow scalar values for axis fields (a single-point axis)."""
 
-    for key in ("families", "sizes", "policies", "seeds", "churn_events", "loss"):
+    for key in ("families", "sizes", "policies", "seeds", "churn_events", "loss", "shards"):
         if key in data and not isinstance(data[key], (list, tuple)):
             data[key] = [data[key]]
     if "engine" in data and isinstance(data["engine"], Mapping):

@@ -1,11 +1,19 @@
 """The FVN logic substrate: a small PVS-like proof assistant.
 
 This package is the in-repository substitute for the PVS theorem prover the
-paper uses.  It provides first-order terms and formulas, inductive
-definitions (the ``INDUCTIVE bool`` fragment), theories with theory
-interpretation, a sequent-calculus prover with PVS-style tactics and an
-automated ``grind`` strategy, a linear-arithmetic decision procedure, and
-finite-model evaluation for counterexample search.
+paper uses (Sections 2.3 and 3.1: the logical specifications NDlog programs
+are translated into, and the proofs discharged over them).  It provides
+first-order terms and formulas, inductive definitions (the ``INDUCTIVE
+bool`` fragment), theories with theory interpretation, a sequent-calculus
+prover with PVS-style tactics and an automated ``grind`` strategy, a
+linear-arithmetic decision procedure, and finite-model evaluation for
+counterexample search.
+
+Public entry points: :class:`Theory` (declare axioms/theorems,
+``prove_theorem``), :func:`prove` / :class:`ProofSession` and the tactic
+library, the formula constructors (:func:`forall`, :func:`exists`,
+:func:`atom`, …), and :class:`FiniteModel` / bounded model checking in
+:mod:`repro.logic.bmc`.
 
 Typical use::
 

@@ -5,6 +5,14 @@ axioms (maximality, absorption, monotonicity, isotonicity), base algebras,
 composition operators (lexical product, restrictions), mechanical discharge
 of instantiation proof obligations, and the generic vectoring protocol that
 turns a verified algebra into routes.
+
+Public entry points: :class:`RoutingAlgebra` and
+:func:`algebra_from_rank`, :func:`check_all_axioms` /
+:func:`is_well_behaved`, the base-algebra factories in
+:mod:`repro.metarouting.base`, the composition operators in
+:mod:`repro.metarouting.operators`, obligation discharge in
+:mod:`repro.metarouting.obligations`, and the vectoring-protocol runner in
+:mod:`repro.metarouting.routing`.
 """
 
 from .algebra import Label, RoutingAlgebra, Signature, algebra_from_rank

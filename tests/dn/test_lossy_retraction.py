@@ -49,7 +49,7 @@ class RetractDroppingEngine(DistributedEngine):
     """An engine whose channel loses every ``retract`` message — the
     adversarial worst case for distributed deletion."""
 
-    def _send(self, src, dst, predicate, values, *, kind="assert"):
+    def _send(self, src, dst, predicate, values, kind="assert"):
         if kind == "retract":
             self.nodes[src].stats.messages_sent += 1
             self.trace.record_message(

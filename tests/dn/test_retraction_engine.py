@@ -339,3 +339,48 @@ class TestSoftStateRetraction:
         engine.run(until=6.0)
         assert (1, 2) in engine.node(1).db.table("ping")
         assert (1, 2) in engine.node(1).db.table("echo")
+
+
+class TestConsistencySweep:
+    """Cross-round support-count asymmetry (fixed by the settle-end sweep).
+
+    ``bestPath`` accrues supports from two join directions of ``r4`` (its
+    ``path`` delta and its aggregate ``bestPathCost`` delta), but the
+    aggregate retraction always fires after the paths were physically
+    removed, stranding one support.  The consistency sweep force-retracts
+    stored rows that are no longer locally derivable, so isolating a node
+    leaves no ghost best routes (a hypothesis-found seed-era bug).
+    """
+
+    EDGES = [(0, 1, 1), (0, 2, 1), (0, 3, 4), (0, 4, 2), (2, 3, 1), (3, 4, 2)]
+
+    @pytest.mark.parametrize("batch_deltas", [True, False])
+    def test_isolating_a_node_leaves_no_ghost_best_paths(self, batch_deltas):
+        # failing 0-1 isolates node 1 entirely: every route to/from it must go
+        engine = DistributedEngine(
+            pv_program(),
+            Topology.from_edges(self.EDGES),
+            config=EngineConfig(batch_deltas=batch_deltas),
+        )
+        engine.seed_facts()
+        engine.schedule_link_failure(0, 1, at=1.0)
+        trace = engine.run()
+        assert trace.quiescent
+        after = Topology.from_edges(self.EDGES)
+        after.fail_link(0, 1)
+        assert equivalent_up_to_ties(
+            nonempty(engine.global_snapshot()), fresh_snapshot(after)
+        )
+        for predicate in ("path", "bestPath", "bestPathCost"):
+            assert not [r for r in engine.rows(predicate) if 1 in r[:2]]
+
+    def test_sweep_records_retract_kinds(self):
+        engine = DistributedEngine(pv_program(), Topology.from_edges(self.EDGES))
+        engine.seed_facts()
+        engine.schedule_link_failure(0, 1, at=1.0)
+        trace = engine.run()
+        # the swept ghost rows surface as ordinary derived-state retractions
+        swept = [
+            c for c in trace.changes_of_kind("retract") if c.predicate == "bestPath"
+        ]
+        assert swept

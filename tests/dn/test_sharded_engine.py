@@ -1,0 +1,272 @@
+"""Determinism and partitioning of the process-sharded engine.
+
+The sharded engine's contract is *byte-identity*: for the same program,
+topology, config, and seed, :class:`~repro.dn.shard.ShardedEngine` must
+produce exactly the trace, final tables, seeds, stats, and monitor reports
+of the single-process :class:`~repro.dn.engine.DistributedEngine` — for
+every shard count, partition strategy, and transport, across the
+batched/per-tuple × retraction/monotonic config matrix, under churn, loss,
+and soft-state refresh/expiry.  The hypothesis sweep uses the inline
+transport (same code path minus the IPC) so each example is cheap; the
+process-transport tests cover real worker processes including pickling.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.generator import policy_path_vector_program
+from repro.dn import (
+    DistributedEngine,
+    EngineConfig,
+    ShardedEngine,
+    ShardError,
+    Topology,
+    create_engine,
+    edge_cut,
+    partition_nodes,
+)
+from repro.fvn.monitors import schema_for_program, standard_monitors
+from repro.ndlog.ast import MaterializeDecl
+from repro.protocols.pathvector import path_vector_program
+from repro.scenarios import generate_scenario
+
+
+def nonempty(snapshot: dict) -> dict:
+    return {pred: rows for pred, rows in snapshot.items() if rows}
+
+
+def soften_links(program, lifetime: float = 3.0):
+    decl = program.materialized["link"]
+    program.materialized["link"] = MaterializeDecl(
+        "link", lifetime, decl.max_size, decl.keys
+    )
+    return program
+
+
+def build_scenario(family: str, size: int, seed: int, churn: int, loss: float):
+    return generate_scenario(
+        family,
+        size=size,
+        seed=seed,
+        policy="gao_rexford",
+        churn_events=churn,
+        churn_restore_delay=1.0,
+        loss=loss,
+    )
+
+
+def execute(
+    shards: int,
+    *,
+    family="tree",
+    size=12,
+    seed=0,
+    churn=2,
+    loss=0.01,
+    batch_deltas=True,
+    retract_derivations=True,
+    soft=False,
+    transport="inline",
+    partition="hash",
+    until=15.0,
+):
+    """One run → everything the determinism contract quantifies over."""
+
+    scenario = build_scenario(family, size, seed, churn, loss)
+    program = policy_path_vector_program()
+    if soft:
+        program = soften_links(program)
+    config = EngineConfig(
+        seed=seed,
+        shards=shards,
+        partition=partition,
+        shard_transport=transport,
+        batch_deltas=batch_deltas,
+        retract_derivations=retract_derivations,
+        refresh_interval=1.5 if soft else None,
+    )
+    engine = create_engine(program, scenario.topology, config=config)
+    monitors = standard_monitors(schema_for_program(program))
+    for monitor in monitors:
+        engine.attach_monitor(monitor)
+    if scenario.churn is not None:
+        scenario.churn.apply_to_engine(engine)
+    try:
+        trace = engine.run(until=until, extra_facts=scenario.policy_fact_list())
+        engine.finalize_monitors()
+        if isinstance(engine, ShardedEngine):
+            engine.validate_shards()
+        return {
+            "fingerprint": trace.fingerprint(),
+            "tables": nonempty(engine.global_snapshot()),
+            "seeds": dict(trace.seeds),
+            "quiescent": trace.quiescent,
+            "events": trace.events_processed,
+            "stats": {nid: n.stats.as_dict() for nid, n in engine.nodes.items()},
+            "monitors": [monitor.report() for monitor in monitors],
+            "dropped": engine.channel.dropped,
+        }
+    finally:
+        engine.close()
+
+
+class TestShardDeterminism:
+    """Sharded == single-process, across the whole config matrix."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        family=st.sampled_from(["tree", "power_law", "waxman"]),
+        size=st.integers(min_value=6, max_value=16),
+        churn=st.integers(min_value=0, max_value=3),
+        loss=st.sampled_from([0.0, 0.02]),
+        shards=st.sampled_from([2, 3]),
+        batch_deltas=st.booleans(),
+        retract_derivations=st.booleans(),
+    )
+    def test_sharded_equals_single_process(
+        self, seed, family, size, churn, loss, shards, batch_deltas, retract_derivations
+    ):
+        kwargs = dict(
+            family=family,
+            size=size,
+            seed=seed,
+            churn=churn,
+            loss=loss,
+            batch_deltas=batch_deltas,
+            retract_derivations=retract_derivations,
+        )
+        single = execute(1, **kwargs)
+        sharded = execute(shards, **kwargs)
+        assert sharded == single
+
+    @pytest.mark.parametrize("partition", ["hash", "metis-lite"])
+    def test_partition_strategy_is_semantics_free(self, partition):
+        single = execute(1)
+        sharded = execute(3, partition=partition)
+        assert sharded == single
+
+    def test_soft_state_refresh_and_expiry_identical(self):
+        single = execute(1, soft=True, churn=2, until=10.0)
+        sharded = execute(2, soft=True, churn=2, until=10.0)
+        assert sharded == single
+        assert single["events"] > 0
+
+    @pytest.mark.parametrize(
+        "batch_deltas,retract_derivations", [(True, True), (False, True), (True, False)]
+    )
+    def test_process_transport_identical(self, batch_deltas, retract_derivations):
+        """Real worker processes (pickling, pipes) — still byte-identical."""
+
+        kwargs = dict(
+            size=10,
+            batch_deltas=batch_deltas,
+            retract_derivations=retract_derivations,
+        )
+        single = execute(1, **kwargs)
+        sharded = execute(2, transport="process", **kwargs)
+        assert sharded == single
+
+    def test_trace_seeds_and_replayability(self):
+        """Trace.seeds carry the same channel seed either way; replaying a
+        sharded run's channel seed on a single-process engine reproduces
+        the sharded loss pattern exactly."""
+
+        single = execute(1, loss=0.05, seed=42)
+        sharded = execute(2, loss=0.05, seed=42)
+        assert sharded["seeds"] == single["seeds"]
+        assert sharded["dropped"] == single["dropped"]
+        replay = execute(1, loss=0.05, seed=sharded["seeds"]["channel"])
+        assert replay["fingerprint"] == sharded["fingerprint"]
+
+
+class TestShardedEngineApi:
+    def test_create_engine_routes_on_shards(self):
+        program = path_vector_program()
+        topology = Topology.from_edges([("a", "b"), ("b", "c")])
+        single = create_engine(program, topology, config=EngineConfig(shards=1))
+        assert type(single) is DistributedEngine
+        sharded = create_engine(
+            program,
+            topology,
+            config=EngineConfig(shards=2, shard_transport="inline"),
+        )
+        assert isinstance(sharded, ShardedEngine)
+        sharded.close()
+
+    def test_more_shards_than_nodes(self):
+        single = execute(1, size=6, churn=0)
+        sharded = execute(8, size=6, churn=0)
+        assert sharded == single
+
+    def test_bad_transport_rejected(self):
+        program = path_vector_program()
+        topology = Topology.from_edges([("a", "b")])
+        with pytest.raises(ShardError):
+            ShardedEngine(
+                program,
+                topology,
+                config=EngineConfig(shards=2, shard_transport="carrier-pigeon"),
+            )
+
+    def test_close_is_idempotent_and_state_stays_readable(self):
+        scenario = build_scenario("tree", 8, 0, 0, 0.0)
+        engine = create_engine(
+            path_vector_program(),
+            scenario.topology,
+            config=EngineConfig(seed=0, shards=2, shard_transport="process"),
+        )
+        trace = engine.run(until=10.0)
+        assert trace.quiescent
+        engine.close()
+        engine.close()
+        # the coordinator replica remains readable after worker shutdown
+        assert nonempty(engine.global_snapshot())
+        assert engine.rows("bestPath")
+
+    def test_shard_summary_reports_partition(self):
+        scenario = build_scenario("tree", 12, 0, 0, 0.0)
+        engine = ShardedEngine(
+            path_vector_program(),
+            scenario.topology,
+            config=EngineConfig(shards=3, shard_transport="inline", partition="metis-lite"),
+        )
+        summary = engine.shard_summary()
+        engine.close()
+        assert summary["shards"] == 3
+        assert sum(summary["sizes"]) == 12
+        assert summary["partition"] == "metis-lite"
+        assert summary["edge_cut"] >= 0
+
+
+class TestPartitioning:
+    def topo(self, family="tree", size=30, seed=1):
+        return build_scenario(family, size, seed, 0, 0.0).topology
+
+    def test_hash_partition_is_stable_and_total(self):
+        topology = self.topo()
+        first = partition_nodes(topology, 4, "hash")
+        second = partition_nodes(topology, 4, "hash")
+        assert first == second
+        assert set(first) == set(topology.nodes)
+        assert all(0 <= shard < 4 for shard in first.values())
+
+    def test_metis_lite_is_balanced_and_total(self):
+        topology = self.topo(size=31)
+        assignment = partition_nodes(topology, 4, "metis-lite")
+        assert set(assignment) == set(topology.nodes)
+        sizes = [list(assignment.values()).count(s) for s in range(4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_metis_lite_cuts_fewer_edges_than_hash_on_trees(self):
+        topology = self.topo(size=40, seed=3)
+        hashed = partition_nodes(topology, 4, "hash")
+        grown = partition_nodes(topology, 4, "metis-lite")
+        assert edge_cut(topology, grown) <= edge_cut(topology, hashed)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            partition_nodes(self.topo(), 2, "quantum")
+        with pytest.raises(ValueError):
+            partition_nodes(self.topo(), 0, "hash")

@@ -143,3 +143,51 @@ class TestLoading:
         assert spec.name == "campaign-smoke"
         assert spec.run_count >= 8
         assert all(p == "shortest_path" for p in spec.policies)
+
+
+class TestShardsAxis:
+    """The ``shards`` grid axis (merged into engine overrides)."""
+
+    def test_default_axis_preserves_legacy_descriptors(self):
+        spec = CampaignSpec(name="x", families=("tree",), sizes=(8,), seeds=(0, 1))
+        descriptors = spec.expand()
+        assert spec.shards == (1,)
+        assert all("sh" not in d.run_id.split("-e")[1] for d in descriptors)
+        assert all("shards" not in dict(d.engine) for d in descriptors)
+
+    def test_shards_axis_merges_into_engine_overrides(self):
+        spec = spec_from_mapping(
+            {"name": "y", "families": ["tree"], "sizes": [8], "seeds": [0],
+             "shards": [1, 4], "engine": [{}, {"batch_deltas": False}]}
+        )
+        descriptors = spec.expand()
+        assert spec.run_count == len(descriptors) == 4
+        shard_values = sorted(dict(d.engine).get("shards") for d in descriptors)
+        assert shard_values == [1, 1, 4, 4]
+        assert {d.run_id.split("-")[-2] for d in descriptors} == {"sh1", "sh4"}
+        for d in descriptors:
+            config = d.engine_config()
+            assert config.shards == dict(d.engine)["shards"]
+
+    def test_scalar_shards_becomes_axis(self):
+        spec = spec_from_mapping(
+            {"name": "z", "families": ["tree"], "sizes": [8], "seeds": [0], "shards": 2}
+        )
+        assert spec.shards == (2,)
+        assert dict(spec.expand()[0].engine)["shards"] == 2
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(SpecError, match="shards"):
+            spec_from_mapping(
+                {"name": "w", "families": ["tree"], "sizes": [8], "seeds": [0],
+                 "shards": [0]}
+            )
+
+    def test_roundtrip_keeps_shards(self):
+        spec = spec_from_mapping(
+            {"name": "rt", "families": ["tree"], "sizes": [8], "seeds": [0],
+             "shards": [1, 2]}
+        )
+        again = CampaignSpec.from_dict(spec.to_dict())
+        assert again.shards == (1, 2)
+        assert [d.run_id for d in again.expand()] == [d.run_id for d in spec.expand()]

@@ -157,7 +157,21 @@ class TestIncrementalMatchesScratch:
                     del facts[fact[:2]]
                 inc.delete("link", fact)
         scratch = evaluate(path_vector_program(), [("link", f) for f in facts.values()])
-        assert nonempty(inc.db.snapshot()) == nonempty(scratch.snapshot())
+        a = nonempty(inc.db.snapshot())
+        b = nonempty(scratch.snapshot())
+        # bestPath is keyed on (S, D): among equal-cost candidates the stored
+        # winner is whichever derivation arrived last, which legitimately
+        # differs between incremental op order and from-scratch evaluation.
+        # Compare everything else exactly, bestPath on its (S, D, C)
+        # projection, and require each stored winner to be a valid candidate
+        # path of the other run (the tests/dn convention).
+        assert {p: r for p, r in a.items() if p != "bestPath"} == {
+            p: r for p, r in b.items() if p != "bestPath"
+        }
+        project = lambda rows: {(r[0], r[1], r[3]) for r in rows}  # noqa: E731
+        assert project(a.get("bestPath", set())) == project(b.get("bestPath", set()))
+        assert a.get("bestPath", set()) <= b.get("path", set())
+        assert b.get("bestPath", set()) <= a.get("path", set())
 
     def test_keyed_cost_change_displaces_old_row(self):
         # same primary key, new cost: the displaced row's consequences must
