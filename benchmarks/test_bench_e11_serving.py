@@ -1,0 +1,146 @@
+"""E11 — routing-as-a-service: sustained query/update load on the daemon.
+
+The serving tentpole measured end-to-end: a real daemon process (booted
+through the ``python -m repro.serving`` CLI, durability on) absorbs a
+sustained stream of topology churn from one client while concurrent query
+clients read best paths over the socket the whole time.  Reported per
+configuration (1 shard and 4 shards):
+
+* **update-to-answer latency** — wall time from sending an update verb to
+  receiving its settled acknowledgement (p50/p95), the serving analogue of
+  convergence time under churn;
+* **sustained queries/sec** — best-path reads answered while the update
+  stream is running (queries interleave with settles on the daemon's
+  single event loop, so this measures serving overhead, not just engine
+  speed);
+* a final consistency check: monitors stay green and the daemon reports
+  every update settled.
+
+The numbers land in ``BENCH_results.json`` / ``BENCH_ci.json`` and are
+gated by ``scripts/check_regression.py`` like every other experiment.
+"""
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.serving import ServingClient
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SIZE = 28
+UPDATE_ROUNDS = 12  # each round = one link_fail + one link_restore
+QUERY_THREADS = 2
+
+
+def _serving_env() -> dict:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _start_daemon(state_dir: Path, shards: int) -> subprocess.Popen:
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.serving", "serve",
+            "--state-dir", str(state_dir),
+            "--family", "tree", "--size", str(SIZE),
+            "--shards", str(shards),
+            "--snapshot-every", "10",
+        ],
+        env=_serving_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    assert "serving on" in line, f"daemon failed to boot: {line!r}"
+    return proc
+
+
+def _run_load(shards: int) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        state_dir = Path(tmp) / "state"
+        daemon = _start_daemon(state_dir, shards)
+        try:
+            update_latencies: list[float] = []
+            query_counts = [0] * QUERY_THREADS
+            updates_done = threading.Event()
+
+            def updater() -> None:
+                with ServingClient.from_state_dir(state_dir, timeout=120) as client:
+                    for i in range(UPDATE_ROUNDS):
+                        dst = i % 4 + 1
+                        for verb in ("link_fail", "link_restore"):
+                            started = time.perf_counter()
+                            ack = client.update(verb, src=0, dst=dst)
+                            update_latencies.append(time.perf_counter() - started)
+                            assert ack["settled"]
+                updates_done.set()
+
+            def querier(slot: int) -> None:
+                with ServingClient.from_state_dir(state_dir, timeout=120) as client:
+                    dst = SIZE - 1 - slot
+                    while not updates_done.is_set():
+                        client.best_path(5, dst)
+                        query_counts[slot] += 1
+
+            threads = [threading.Thread(target=updater)] + [
+                threading.Thread(target=querier, args=(slot,))
+                for slot in range(QUERY_THREADS)
+            ]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(600)
+            elapsed = time.perf_counter() - started
+
+            with ServingClient.from_state_dir(state_dir, timeout=120) as client:
+                status = client.query("status")
+                assert status["seq"] == 2 * UPDATE_ROUNDS
+                assert status["settled"] and status["monitors_ok"]
+                client.stop()
+            daemon.wait(timeout=60)
+            latencies_ms = sorted(lat * 1000 for lat in update_latencies)
+            return {
+                "shards": shards,
+                "updates": len(update_latencies),
+                "update_p50_ms": statistics.median(latencies_ms),
+                "update_p95_ms": latencies_ms[int(0.95 * (len(latencies_ms) - 1))],
+                "queries": sum(query_counts),
+                "queries_per_sec": sum(query_counts) / elapsed,
+                "elapsed_s": elapsed,
+            }
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
+
+
+def _report_lines(result: dict) -> list:
+    return [
+        f"{result['shards']}-shard daemon: {result['updates']} settled updates, "
+        f"ack p50 {result['update_p50_ms']:.0f}ms / p95 {result['update_p95_ms']:.0f}ms",
+        f"{result['shards']}-shard daemon: {result['queries']} queries in "
+        f"{result['elapsed_s']:.1f}s under churn = "
+        f"{result['queries_per_sec']:.0f} queries/sec",
+    ]
+
+
+def test_bench_e11_serving_single_shard(benchmark, experiment_report):
+    result = benchmark.pedantic(_run_load, args=(1,), rounds=1, iterations=1)
+    assert result["queries"] > 0
+    experiment_report("E11", _report_lines(result))
+
+
+def test_bench_e11_serving_sharded(benchmark, experiment_report):
+    result = benchmark.pedantic(_run_load, args=(4,), rounds=1, iterations=1)
+    assert result["queries"] > 0
+    experiment_report("E11", _report_lines(result))

@@ -9,11 +9,17 @@ Two checks:
    entry points for packages).  Parsed with ``ast``; no imports.
 
 2. **Config reference coverage** — every field of
-   ``repro.dn.engine.EngineConfig`` and every field of
-   ``repro.harness.spec.CampaignSpec`` must be mentioned in
+   ``repro.dn.engine.EngineConfig``, ``repro.harness.spec.CampaignSpec``,
+   and ``repro.serving.config.ServerConfig`` must be mentioned in
    ``docs/CONFIG.md``, so new knobs cannot land undocumented.  Field names
    are read from the class bodies with ``ast`` (annotated assignments), so
    the check needs no runtime dependencies.
+
+3. **Serving surface coverage** — every ``--flag`` the ``fvn-serve`` CLI
+   registers (``argparse`` string literals in ``repro/serving/cli.py``)
+   must appear in the serving CLI section of ``docs/CONFIG.md``, and every
+   wire verb in ``repro/serving/protocol.py`` (``UPDATE_VERBS`` +
+   ``QUERY_VERBS``) must appear in ``docs/SERVING.md``.
 
 Exit status 0 = all good; 1 = violations (listed on stdout).
 
@@ -80,6 +86,52 @@ def undocumented_fields(
     ]
 
 
+def cli_flags(module_path: pathlib.Path) -> list[str]:
+    """Every ``--flag`` string literal registered via ``add_argument``."""
+
+    tree = ast.parse(module_path.read_text(), filename=str(module_path))
+    flags = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+        ):
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("--")
+                    and arg.value not in flags
+                ):
+                    flags.append(arg.value)
+    return flags
+
+
+def wire_verbs(module_path: pathlib.Path) -> list[str]:
+    """The serving verbs: string tuples ``UPDATE_VERBS`` + ``QUERY_VERBS``."""
+
+    tree = ast.parse(module_path.read_text(), filename=str(module_path))
+    verbs: list[str] = []
+    for name in ("UPDATE_VERBS", "QUERY_VERBS"):
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == name for t in node.targets
+                )
+                and isinstance(node.value, ast.Tuple)
+            ):
+                verbs.extend(
+                    elt.value
+                    for elt in node.value.elts
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                )
+    if not verbs:
+        raise SystemExit(f"no verb tuples found in {module_path}")
+    return verbs
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".", help="repository root")
@@ -100,15 +152,39 @@ def main() -> int:
     for module, cls in [
         (root / "src" / "repro" / "dn" / "engine.py", "EngineConfig"),
         (root / "src" / "repro" / "harness" / "spec.py", "CampaignSpec"),
+        (root / "src" / "repro" / "serving" / "config.py", "ServerConfig"),
     ]:
         for field in undocumented_fields(config_md, module, cls):
             print(f"UNDOCUMENTED FIELD: {cls}.{field} not mentioned in docs/CONFIG.md")
             failures += 1
 
+    serving_cli_section = class_section(config_md, "Serving CLI")
+    for flag in cli_flags(root / "src" / "repro" / "serving" / "cli.py"):
+        if flag not in serving_cli_section:
+            print(
+                f"UNDOCUMENTED FLAG: fvn-serve {flag} not in the "
+                "'Serving CLI' section of docs/CONFIG.md"
+            )
+            failures += 1
+
+    serving_md_path = root / "docs" / "SERVING.md"
+    if not serving_md_path.exists():
+        print(f"MISSING FILE: {serving_md_path}")
+        failures += 1
+    else:
+        serving_md = serving_md_path.read_text()
+        for verb in wire_verbs(root / "src" / "repro" / "serving" / "protocol.py"):
+            if f"`{verb}`" not in serving_md:
+                print(f"UNDOCUMENTED VERB: {verb} not mentioned in docs/SERVING.md")
+                failures += 1
+
     if failures:
         print(f"\n{failures} documentation violation(s)")
         return 1
-    print("docs check: all modules documented, all config fields covered")
+    print(
+        "docs check: all modules documented, all config fields, serving "
+        "flags, and wire verbs covered"
+    )
     return 0
 
 

@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""CI smoke test for the routing service daemon.
+
+Exercises the full serving stack the way an operator would, end to end:
+
+1. boot a durable daemon through the CLI (``python -m repro.serving serve``);
+2. hammer it with concurrent clients — one thread pushing the scenario's
+   churn schedule as live updates, two threads reading best paths — over
+   the real socket;
+3. check the runtime invariant monitors are green and every update settled;
+4. SIGKILL the daemon mid-life, restart it, and require the recovered
+   ``Trace.fingerprint()`` to be **byte-identical** to the pre-kill state;
+5. write the collected evidence to ``--artifacts`` for upload.
+
+Exits non-zero on any failure.  Usage::
+
+    PYTHONPATH=src python scripts/serving_smoke.py --artifacts smoke-out
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenarios import churn_updates, generate_scenario  # noqa: E402
+from repro.serving import ServingClient  # noqa: E402
+
+FAMILY = "tree"
+SIZE = 20
+CHURN_EVENTS = 6
+
+
+def serving_env() -> dict:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def start_daemon(state_dir: Path, log_path: Path) -> subprocess.Popen:
+    # a killed daemon leaves a stale server.json; readiness means the NEW
+    # process has written its own
+    (state_dir / "server.json").unlink(missing_ok=True)
+    log = log_path.open("a")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.serving", "serve",
+            "--state-dir", str(state_dir),
+            "--family", FAMILY, "--size", str(SIZE),
+            "--snapshot-every", "4",
+        ],
+        env=serving_env(),
+        stdout=log,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + 60
+    server_info = state_dir / "server.json"
+    while time.time() < deadline:
+        if server_info.exists() and proc.poll() is None:
+            return proc
+        if proc.poll() is not None:
+            break
+        time.sleep(0.2)
+    raise SystemExit(f"daemon failed to boot; see {log_path}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--artifacts", default="serving-smoke-out", help="evidence output directory"
+    )
+    args = parser.parse_args()
+    artifacts = Path(args.artifacts)
+    artifacts.mkdir(parents=True, exist_ok=True)
+    evidence: dict = {"family": FAMILY, "size": SIZE}
+
+    # the same churn a campaign cell would schedule, replayed live
+    scenario = generate_scenario(
+        FAMILY, size=SIZE, seed=0, churn_events=CHURN_EVENTS, churn_restore_delay=1.0
+    )
+    updates = churn_updates(scenario)
+    assert updates, "scenario produced no churn to drive"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        state_dir = Path(tmp) / "state"
+        state_dir.mkdir()
+        log_path = artifacts / "daemon.log"
+        daemon = start_daemon(state_dir, log_path)
+        try:
+            acks: list = []
+            query_count = [0, 0]
+
+            def updater() -> None:
+                with ServingClient.from_state_dir(state_dir, timeout=120) as client:
+                    for update in updates:
+                        acks.append(client.call(update["verb"], update["args"]))
+
+            def querier(slot: int) -> None:
+                with ServingClient.from_state_dir(state_dir, timeout=120) as client:
+                    for dst in range(1, SIZE, 2):
+                        answer = client.best_path(0, dst)
+                        assert "found" in answer
+                        query_count[slot] += 1
+
+            threads = [threading.Thread(target=updater)] + [
+                threading.Thread(target=querier, args=(slot,)) for slot in (0, 1)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(300)
+            if any(thread.is_alive() for thread in threads):
+                raise SystemExit("smoke clients timed out")
+
+            with ServingClient.from_state_dir(state_dir, timeout=120) as client:
+                status = client.query("status")
+                fingerprint = client.query("fingerprint")
+            evidence["updates_acked"] = len(acks)
+            evidence["all_settled"] = all(ack["settled"] for ack in acks)
+            evidence["queries_answered"] = sum(query_count)
+            evidence["monitors_ok"] = status["monitors_ok"]
+            evidence["monitors"] = status["monitors"]
+            evidence["pre_kill_fingerprint"] = fingerprint["fingerprint"]
+            evidence["pre_kill_seq"] = fingerprint["seq"]
+            if not (evidence["all_settled"] and evidence["monitors_ok"]):
+                raise SystemExit(f"serving smoke failed pre-kill: {evidence}")
+
+            # hard-kill mid-life, restart, demand byte-identical recovery
+            daemon.kill()
+            daemon.wait(timeout=60)
+            daemon = start_daemon(state_dir, log_path)
+            with ServingClient.from_state_dir(state_dir, timeout=120) as client:
+                recovered = client.query("fingerprint")
+                recovered_status = client.query("status")
+                client.query("stop")
+            daemon.wait(timeout=60)
+            evidence["recovered_from"] = recovered_status["recovered_from"]
+            evidence["recovered_seq"] = recovered["seq"]
+            evidence["recovered_fingerprint"] = recovered["fingerprint"]
+            evidence["byte_identical"] = (
+                recovered["fingerprint"] == evidence["pre_kill_fingerprint"]
+                and recovered["seq"] == evidence["pre_kill_seq"]
+            )
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
+
+    (artifacts / "evidence.json").write_text(
+        json.dumps(evidence, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    print(json.dumps(evidence, indent=2, sort_keys=True, default=str))
+    if not evidence["byte_identical"]:
+        print("FAIL: recovered state diverged from pre-kill fingerprint")
+        return 1
+    print(
+        f"serving smoke OK: {evidence['updates_acked']} updates, "
+        f"{evidence['queries_answered']} queries, monitors green, "
+        f"crash recovery byte-identical ({evidence['recovered_from']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -200,6 +200,11 @@ class DistributedEngine:
         #: default so the hot paths pay a single truthiness check
         self.monitors: list[EngineMonitor] = []
         self._per_tuple_depth = 0
+        #: >0 while a node's fixpoint rounds (or the sharded replay of one)
+        #: are executing — mid-fixpoint states are deliberately inconsistent
+        #: (deletion deltas fire against the old database), so external
+        #: updates must not land inside; see :meth:`_assert_safe_point`
+        self._fixpoint_depth = 0
         self.nodes: dict[NodeId, Node] = {
             node_id: Node(node_id, self.program, rule_engine=self.rule_engine)
             for node_id in topology.nodes
@@ -405,10 +410,12 @@ class DistributedEngine:
         outermost application returns."""
 
         self._per_tuple_depth += 1
+        self._fixpoint_depth += 1
         try:
             self.executor.apply_op(self.nodes[node_id], op, self.scheduler.now)
         finally:
             self._per_tuple_depth -= 1
+            self._fixpoint_depth -= 1
         if self._per_tuple_depth == 0 and self.monitors:
             self._notify_settle(node_id)
 
@@ -427,14 +434,115 @@ class DistributedEngine:
         queue = self._pending[node_id]
         ops = list(queue)
         queue.clear()
-        self.executor.drain(self.nodes[node_id], ops, self.scheduler.now)
+        self._fixpoint_depth += 1
+        try:
+            self.executor.drain(self.nodes[node_id], ops, self.scheduler.now)
+        finally:
+            self._fixpoint_depth -= 1
         if self.monitors:
             self._notify_settle(node_id)
+
+    # ------------------------------------------------------------------
+    # Safe points for engine-external updates
+    # ------------------------------------------------------------------
+    @property
+    def in_fixpoint(self) -> bool:
+        """Is a node's fixpoint (drain / per-tuple recursion / sharded
+        replay) currently executing?  External updates are only legal when
+        this is False — between events, the engine's safe points."""
+
+        return self._fixpoint_depth > 0
+
+    def _assert_safe_point(self, operation: str) -> None:
+        if self._fixpoint_depth > 0:
+            raise NDlogError(
+                f"{operation} during a node fixpoint: engine-external updates "
+                "must land at safe points (between events, or scheduled via "
+                "schedule_fact / schedule_fact_delete / schedule_refresh), "
+                "not from monitor or rule callbacks mid-drain"
+            )
+
+    def inject_fact(self, predicate: str, values: tuple) -> None:
+        """Inject a located base fact at the current simulation time.
+
+        The safe-point twin of :meth:`schedule_fact`: callable between
+        events (e.g. by a serving layer applying a live update), refused
+        mid-fixpoint where the database is transiently inconsistent.  In
+        batched mode the fact lands at the node's next flush at this
+        timestamp; in per-tuple mode it applies immediately.
+        """
+
+        self._assert_safe_point("inject_fact")
+        values = tuple(values)
+        self._protect_predicate(predicate)
+        self._handle_insert(values[0], predicate, values)
+
+    def delete_fact(self, predicate: str, values: tuple) -> None:
+        """Remove a located base fact at the current simulation time.
+
+        With ``retract_derivations`` (the default) the deletion rides the
+        retraction pipeline, withdrawing every derivation the fact fed;
+        in monotonic mode only the base row is removed.  Refused
+        mid-fixpoint like :meth:`inject_fact`.
+        """
+
+        self._assert_safe_point("delete_fact")
+        values = tuple(values)
+        node_id = values[0]
+        if self.config.retract_derivations:
+            self._handle_retract(node_id, predicate, values, kind="delete")
+            return
+        if self._monotonic_delete(node_id, predicate, values):
+            self._record_change(self.scheduler.now, node_id, predicate, values, "delete")
+            if self.monitors:
+                self._notify_settle(node_id)
+
+    def schedule_fact_delete(self, predicate: str, values: tuple, at: float) -> None:
+        """Delete a located fact at an absolute simulation time (the
+        deletion counterpart of :meth:`schedule_fact`)."""
+
+        values = tuple(values)
+        self.scheduler.schedule_at(
+            at,
+            Event(
+                "delete",
+                lambda: self.delete_fact(predicate, values),
+                f"-{predicate}{values}",
+            ),
+        )
+
+    def refresh_soft_state(self) -> None:
+        """Run one soft-state refresh round now (safe points only).
+
+        Re-announces every live soft-state base fact: present rows get
+        their lifetimes extended without re-firing rules, expired rows are
+        re-inserted through the engine.  Unlike the periodic
+        ``refresh_interval`` machinery this does not reschedule itself.
+        """
+
+        self._assert_safe_point("refresh_soft_state")
+        self._refresh_round()
+
+    def schedule_refresh(self, at: float) -> None:
+        """Schedule a one-shot soft-state refresh round at an absolute
+        simulation time (no periodic rescheduling)."""
+
+        self.scheduler.schedule_at(
+            at, Event("refresh_once", self._refresh_round, "one-shot soft-state refresh")
+        )
 
     # ------------------------------------------------------------------
     # Soft state
     # ------------------------------------------------------------------
     def _refresh_base_facts(self) -> None:
+        self._refresh_round()
+        if self.config.refresh_interval:
+            self.scheduler.schedule(
+                self.config.refresh_interval,
+                Event("refresh", self._refresh_base_facts, "soft-state refresh"),
+            )
+
+    def _refresh_round(self) -> None:
         now = self.scheduler.now
         refreshed: list[tuple[NodeId, str, tuple]] = []
         for node_id, predicate, values in self._base_facts:
@@ -458,11 +566,6 @@ class DistributedEngine:
                 self._handle_insert(node_id, predicate, values)
         if refreshed:
             self._apply_refresh(refreshed, now)
-        if self.config.refresh_interval:
-            self.scheduler.schedule(
-                self.config.refresh_interval,
-                Event("refresh", self._refresh_base_facts, "soft-state refresh"),
-            )
 
     def _apply_refresh(
         self, refreshed: list[tuple[NodeId, str, tuple]], now: float

@@ -46,6 +46,11 @@ class EventScheduler:
         #: events the current :meth:`run` call may still process; shared
         #: with :meth:`pop_if` so out-of-band pops consume the same budget
         self._budget: float = float("inf")
+        #: True while :meth:`run` is executing event callbacks.  Guards
+        #: against re-entrant ``run`` calls (an event callback — or a
+        #: monitor it notifies — driving the scheduler that is driving it),
+        #: which would interleave two event loops over one queue.
+        self.running: bool = False
 
     def schedule(self, delay: float, event: Event) -> float:
         """Schedule an event ``delay`` seconds from the current time."""
@@ -75,6 +80,17 @@ class EventScheduler:
     def peek_time(self) -> Optional[float]:
         return self._queue[0][0] if self._queue else None
 
+    def pending_kinds(self) -> set[str]:
+        """The distinct ``Event.kind`` tags currently queued.
+
+        Lets callers layered on top of the engine (the serving layer's
+        settle loop) distinguish *maintenance* events (periodic soft-state
+        refresh/expiry scans, which never drain on programs with soft
+        state) from pending *work* without popping anything.
+        """
+
+        return {entry[2].kind for entry in self._queue}
+
     def run(
         self,
         *,
@@ -85,8 +101,14 @@ class EventScheduler:
         reached, or ``max_events`` have been processed.  Returns the number
         of events processed by this call."""
 
+        if self.running:
+            raise RuntimeError(
+                "re-entrant EventScheduler.run(): an event callback is "
+                "driving the scheduler that is executing it"
+            )
         start = self.processed
         self._budget = max_events
+        self.running = True
         try:
             while self._queue and self._budget > 0:
                 if self._queue[0][0] > until:
@@ -98,6 +120,7 @@ class EventScheduler:
                 event.callback()
         finally:
             self._budget = float("inf")
+            self.running = False
         if self._queue and self._queue[0][0] > until and until != float("inf"):
             self.now = until
         return self.processed - start

@@ -375,15 +375,23 @@ class ShardedEngine(DistributedEngine):
         """
 
         now = self.scheduler.now
-        for node_id, predicate, values, kind in records:
-            node = self.nodes[node_id]
-            if kind in ("insert", "replace"):
-                node.upsert(predicate, values, now)
-            else:
-                node.delete(predicate, values)
-            self._record_change(now, node_id, predicate, values, kind)
-        for src, dst, predicate, values, kind in sends:
-            self._send(src, dst, predicate, values, kind)
+        # the replay is the coordinator-side half of a node fixpoint: its
+        # intermediate states are exactly as inconsistent as a mid-drain
+        # database, so external updates are refused here too (matching the
+        # single-process engine's drain guard)
+        self._fixpoint_depth += 1
+        try:
+            for node_id, predicate, values, kind in records:
+                node = self.nodes[node_id]
+                if kind in ("insert", "replace"):
+                    node.upsert(predicate, values, now)
+                else:
+                    node.delete(predicate, values)
+                self._record_change(now, node_id, predicate, values, kind)
+            for src, dst, predicate, values, kind in sends:
+                self._send(src, dst, predicate, values, kind)
+        finally:
+            self._fixpoint_depth -= 1
 
     # ------------------------------------------------------------------
     # Overridden execution hooks

@@ -21,13 +21,16 @@ from .policies import (
     random_pref_policies,
     scenario_policies,
 )
+from .serving import churn_updates, drive_churn, update_for_event
 
 __all__ = [
     "POLICY_KINDS",
     "SCENARIO_FAMILIES",
     "Scenario",
     "bfs_customer_provider",
+    "churn_updates",
     "cost_churn_schedule",
+    "drive_churn",
     "generate_scenario",
     "generate_suite",
     "link_churn_schedule",
@@ -37,4 +40,5 @@ __all__ = [
     "scenario_policies",
     "tree_topology",
     "waxman_topology",
+    "update_for_event",
 ]

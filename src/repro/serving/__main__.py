@@ -1,0 +1,7 @@
+"""``python -m repro.serving`` — see :mod:`repro.serving.cli`."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,218 @@
+"""Fingerprint-stamped engine snapshots for daemon crash recovery.
+
+A snapshot is a structured capture of a *settled* single-process engine —
+scheduler clock and pending maintenance events, loss-channel RNG state,
+the whole :class:`~repro.dn.trace.Trace`, topology, and every node's
+tables (rows, support counts, **and** hash-index buckets) — stamped with
+the update sequence number and ``Trace.fingerprint()`` it was taken at.
+Recovery rebuilds an engine from the capture, verifies the stamp, then
+replays the update-ledger tail; the crash-recovery tests assert the result
+is byte-identical to an uninterrupted run.
+
+Two order-sensitive details make the capture structural rather than a
+naive rebuild:
+
+* index buckets are captured verbatim — after a keyed upsert re-binds a
+  row, its bucket entry sits at the *end* of the bucket while the row kept
+  its ``OrderedDict`` position, so lazily rebuilt indexes would iterate
+  joins in a different order and diverge the fingerprint;
+* ``view_memo`` is keyed by ``id(rule)``, unstable across processes, so it
+  is remapped through the rule's index in ``engine.program.rules``.
+
+Sharded engines keep authoritative state inside worker processes and are
+not captured: ``capture_engine`` raises :class:`SnapshotUnsupported`, and
+sharded daemons recover by full ledger replay instead.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from ..dn.engine import DistributedEngine
+from ..dn.events import Event
+from ..dn.network import Link, Topology
+from ..dn.node import NodeStats
+from ..ndlog.store import StoredTuple
+
+#: Event kinds a settled engine may legitimately have queued: the periodic
+#: soft-state maintenance timers.  Their callbacks are the engine's own
+#: bound methods, so they can be reconstructed from the kind tag alone.
+MAINTENANCE_KINDS = ("refresh", "expiry")
+
+
+class SnapshotUnsupported(RuntimeError):
+    """The engine's state cannot be captured (sharded, or mid-work)."""
+
+
+def _maintenance_callbacks(engine: DistributedEngine) -> dict:
+    return {
+        "refresh": engine._refresh_base_facts,
+        "expiry": engine._expire_soft_state,
+    }
+
+
+def capture_engine(engine: DistributedEngine) -> dict:
+    """Structured state of a settled single-process engine.
+
+    The capture shares no mutable containers with the live engine only
+    where cheap; callers must serialize (pickle) it before the engine
+    processes further updates.
+    """
+
+    if engine.config.shards > 1 or type(engine) is not DistributedEngine:
+        raise SnapshotUnsupported(
+            "snapshots require the single-process engine; sharded daemons "
+            "recover by ledger replay"
+        )
+    sched = engine.scheduler
+    if sched.running or engine.in_fixpoint:
+        raise SnapshotUnsupported("cannot capture mid-run state")
+    events = []
+    for at, seqno, event in sched._queue:
+        if event.kind not in MAINTENANCE_KINDS:
+            raise SnapshotUnsupported(
+                f"pending non-maintenance event {event.kind!r}: snapshot "
+                "only at settled states"
+            )
+        events.append((at, seqno, event.kind))
+    rule_index = {id(rule): i for i, rule in enumerate(engine.program.rules)}
+    node_state = {}
+    for node_id, node in engine.nodes.items():
+        tables = []
+        for predicate, table in node.db._tables.items():
+            rows = [
+                (key, stored.values, stored.inserted_at, stored.expires_at,
+                 table._counts.get(key, 1))
+                for key, stored in table._rows.items()
+            ]
+            indexes = {
+                positions: {
+                    bucket_key: dict(bucket)
+                    for bucket_key, bucket in buckets.items()
+                }
+                for positions, buckets in table._indexes.items()
+            }
+            tables.append((predicate, rows, indexes))
+        node_state[node_id] = {
+            "stats": node.stats.as_dict(),
+            "displaced": {p: set(keys) for p, keys in node.displaced.items()},
+            "view_memo": {
+                rule_index[rid]: set(rows)
+                for rid, rows in node.view_memo.items()
+            },
+            "tables": tables,
+        }
+    topology = engine.topology
+    return {
+        "scheduler": {
+            "now": sched.now,
+            "processed": sched.processed,
+            # itertools.count cannot be peeked; consuming one value is
+            # harmless since only relative sequence order matters
+            "counter": next(sched._counter),
+            "events": events,
+        },
+        "channel": {
+            "random_state": engine.channel._random.getstate(),
+            "dropped": engine.channel.dropped,
+        },
+        "trace": engine.trace,
+        "topology": {
+            "default_delay": topology.default_delay,
+            "default_cost": topology.default_cost,
+            "nodes": list(topology._nodes),
+            "links": [
+                (link.src, link.dst, link.cost, link.delay, link.loss, link.up)
+                for link in topology._links.values()
+            ],
+        },
+        "protected": sorted(engine.executor._protected),
+        "base_facts": list(engine._base_facts),
+        "nodes": node_state,
+        "monitors": [
+            {
+                key: value
+                for key, value in monitor.__dict__.items()
+                if key not in ("_engine", "_key_getters")
+            }
+            for monitor in engine.monitors
+        ],
+    }
+
+
+def build_topology(state: dict) -> Topology:
+    """The captured topology, links in captured (deterministic) order."""
+
+    topo_state = state["topology"]
+    topology = Topology(
+        default_delay=topo_state["default_delay"],
+        default_cost=topo_state["default_cost"],
+    )
+    for node_id in topo_state["nodes"]:
+        topology.add_node(node_id)
+    for src, dst, cost, delay, loss, up in topo_state["links"]:
+        topology._links[(src, dst)] = Link(src, dst, cost, delay, loss, up)
+    return topology
+
+
+def restore_engine(engine: DistributedEngine, state: dict) -> None:
+    """Load a capture into a freshly constructed, *unseeded* engine whose
+    program and topology match the capture (see :func:`build_topology`)."""
+
+    sched_state = state["scheduler"]
+    sched = engine.scheduler
+    sched.now = sched_state["now"]
+    sched.processed = sched_state["processed"]
+    sched._counter = itertools.count(sched_state["counter"])
+    callbacks = _maintenance_callbacks(engine)
+    sched._queue = [
+        (at, seqno, Event(kind, callbacks[kind], f"restored {kind} timer"))
+        for at, seqno, kind in sched_state["events"]
+    ]
+    heapq.heapify(sched._queue)
+
+    engine.channel._random.setstate(state["channel"]["random_state"])
+    engine.channel.dropped = state["channel"]["dropped"]
+    engine.trace = state["trace"]
+
+    for predicate in state["protected"]:
+        engine._protect_predicate(predicate)
+    engine._base_facts = [
+        (node_id, predicate, tuple(values))
+        for node_id, predicate, values in state["base_facts"]
+    ]
+    engine._seeded = True
+
+    rules = engine.program.rules
+    for node_id, node_state in state["nodes"].items():
+        node = engine.nodes[node_id]
+        node.stats = NodeStats(**node_state["stats"])
+        node.displaced = {p: set(keys) for p, keys in node_state["displaced"].items()}
+        node.view_memo = {
+            id(rules[index]): set(rows)
+            for index, rows in node_state["view_memo"].items()
+        }
+        for predicate, rows, indexes in node_state["tables"]:
+            table = node.db.table(predicate)
+            table._rows.clear()
+            table._counts.clear()
+            for key, values, inserted_at, expires_at, count in rows:
+                table._rows[key] = StoredTuple(values, inserted_at, expires_at)
+                table._counts[key] = count
+            table._indexes = {
+                positions: {
+                    bucket_key: dict(bucket)
+                    for bucket_key, bucket in buckets.items()
+                }
+                for positions, buckets in indexes.items()
+            }
+
+
+def restore_monitors(engine: DistributedEngine, state: dict) -> None:
+    """Load captured monitor state into the engine's (freshly attached)
+    monitors, positionally.  ``_engine`` and the unpicklable ``_key_getters``
+    come from the fresh attach."""
+
+    for monitor, captured in zip(engine.monitors, state["monitors"]):
+        monitor.__dict__.update(captured)

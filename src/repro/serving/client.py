@@ -1,0 +1,95 @@
+"""A blocking socket client for the routing service.
+
+Thin by design: one TCP connection, one in-flight request at a time,
+requests and responses framed by :mod:`repro.serving.protocol`.  Drive
+concurrency by opening one client per thread (the E11 benchmark and the
+serving smoke script do exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Optional
+
+from .protocol import decode_line, encode
+
+
+class ServingError(RuntimeError):
+    """The daemon answered ``ok: false`` (the message is its error)."""
+
+
+def read_server_info(state_dir: str | Path) -> dict:
+    """The ``{host, port, pid}`` record a daemon wrote into its state
+    directory (see ``server.json``)."""
+
+    path = Path(state_dir) / "server.json"
+    if not path.exists():
+        raise ServingError(f"no server.json under {state_dir}: daemon not started?")
+    return json.loads(path.read_text())
+
+
+class ServingClient:
+    """Blocking request/response client; usable as a context manager."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    @classmethod
+    def from_state_dir(
+        cls, state_dir: str | Path, *, timeout: float = 30.0
+    ) -> "ServingClient":
+        info = read_server_info(state_dir)
+        return cls(info["host"], info["port"], timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def call(self, verb: str, args: Optional[dict] = None) -> dict:
+        """Send one request and return the daemon's ``result`` payload;
+        raises :class:`ServingError` on an error response."""
+
+        self._next_id += 1
+        request = {"id": self._next_id, "verb": verb, "args": args or {}}
+        self._file.write(encode(request))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServingError("connection closed by daemon")
+        response = decode_line(line)
+        if response.get("id") != self._next_id:
+            raise ServingError(
+                f"response id {response.get('id')!r} does not match request "
+                f"{self._next_id}"
+            )
+        if not response.get("ok"):
+            raise ServingError(response.get("error", "unknown daemon error"))
+        return response.get("result", {})
+
+    # convenience wrappers -------------------------------------------------
+    def update(self, verb: str, **args) -> dict:
+        return self.call(verb, args)
+
+    def query(self, verb: str, **args) -> dict:
+        return self.call(verb, args)
+
+    def best_path(self, src, dst) -> dict:
+        return self.call("best_path", {"src": src, "dst": dst})
+
+    def stop(self) -> dict:
+        return self.call("stop")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

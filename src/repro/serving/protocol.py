@@ -1,0 +1,118 @@
+"""The newline-JSON wire protocol of the routing service.
+
+One request per line, one response per line, UTF-8 JSON.  A request is
+
+    {"id": 7, "verb": "link_fail", "args": {"src": 0, "dst": 1}}
+
+and the matching response either
+
+    {"id": 7, "ok": true, "result": {...}}
+    {"id": 7, "ok": false, "error": "..."}
+
+``id`` is an opaque client token echoed back verbatim (optional — it
+defaults to null).  Verbs split into **updates** (mutate the engine, are
+ledgered, settle before acknowledging) and **queries** (read-only, answered
+at the current settled state).  Every verb's request/response shape is
+documented with examples in ``docs/SERVING.md``; ``scripts/check_docs.py``
+fails the build when a verb listed here is missing from that document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+#: Verbs that mutate engine state.  Each is appended to the write-ahead
+#: update ledger before it is applied.
+UPDATE_VERBS = (
+    "link_fail",
+    "link_restore",
+    "cost_change",
+    "set_fact",
+    "del_fact",
+    "refresh",
+)
+
+#: Read-only verbs, answered at the current settled state.
+QUERY_VERBS = (
+    "best_path",
+    "routes",
+    "table",
+    "status",
+    "fingerprint",
+    "what_if",
+    "ping",
+    "stop",
+)
+
+VERBS = UPDATE_VERBS + QUERY_VERBS
+
+
+class ProtocolError(ValueError):
+    """A malformed or unknown request.
+
+    Carries the offending request's ``id`` when it could be parsed, so
+    the error response still correlates with the request.
+    """
+
+    def __init__(self, message: str, request_id: object = None) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+
+
+def canonical(data):
+    """JSON round-trip ``data`` so the live apply path sees exactly the
+    plain types (lists, not tuples; str keys) that ledger replay will —
+    the precondition for byte-identical recovery fingerprints."""
+
+    return json.loads(json.dumps(data))
+
+
+def as_tuple(value):
+    """Deep list→tuple conversion for fact values arriving as JSON."""
+
+    if isinstance(value, list):
+        return tuple(as_tuple(item) for item in value)
+    return value
+
+
+def encode(message: Mapping) -> bytes:
+    """One wire line for ``message`` (newline-terminated UTF-8 JSON)."""
+
+    return (json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n").encode()
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line into a message dict."""
+
+    try:
+        message = json.loads(line.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable request line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+def parse_request(line: bytes) -> tuple[object, str, dict]:
+    """Validate one request line → ``(id, verb, args)``."""
+
+    message = decode_line(line)
+    request_id = message.get("id")
+    verb = message.get("verb")
+    if verb not in VERBS:
+        raise ProtocolError(
+            f"unknown verb {verb!r}; expected one of {VERBS}", request_id
+        )
+    args = message.get("args", {})
+    if not isinstance(args, dict):
+        raise ProtocolError("request args must be a JSON object", request_id)
+    return request_id, verb, args
+
+
+def ok_response(request_id: object, result) -> bytes:
+    return encode({"id": request_id, "ok": True, "result": result})
+
+
+def error_response(request_id: object, error: str) -> bytes:
+    return encode({"id": request_id, "ok": False, "error": error})

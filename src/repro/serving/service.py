@@ -1,0 +1,505 @@
+"""The routing service core: one long-lived engine behind update/query verbs.
+
+:class:`RouteService` owns a :func:`~repro.dn.engine.create_engine`
+execution booted from a scenario (topology family/size/seed, optional AS
+policy) and keeps it alive across an unbounded stream of updates.  Each
+update is
+
+1. **canonicalized** — JSON round-tripped, so the live apply path sees
+   exactly the plain data a ledger replay will;
+2. **ledgered** — appended (write-ahead, flushed) to ``updates.jsonl``;
+3. **scheduled** — at simulation time ``now + sim_step``, through the
+   engine's safe-point scheduling APIs;
+4. **settled** — the settle loop drives the scheduler to the next fixpoint,
+   excluding periodic maintenance timers (which never drain);
+5. optionally **snapshotted** — every ``snapshot_every`` updates, a
+   fingerprint-stamped :mod:`~repro.serving.checkpoint` capture is written
+   atomically.
+
+Because the simulation schedule is a pure function of the update sequence,
+``Trace.fingerprint()`` after recovery (snapshot + ledger-tail replay, or
+full replay) is byte-identical to an uninterrupted run — the property the
+crash-recovery tests assert.
+
+Queries are answered only *between* settles, so every answer reflects a
+fully-settled prefix of the update stream (see ``docs/SERVING.md`` for the
+exact consistency contract).  ``what_if`` forks a throwaway single-process
+engine, replays the accepted history plus the hypothetical updates, and
+answers against the fork — the live engine is never touched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from dataclasses import replace
+from pathlib import Path
+from typing import Optional
+
+from ..bgp.generator import policy_path_vector_program
+from ..dn.engine import DistributedEngine, EngineConfig, create_engine
+from ..dn.events import Event
+from ..fvn.monitors import build_monitor, schema_for_program
+from ..harness.records import append_jsonl, canonical_json, read_jsonl
+from ..ndlog.ast import MaterializeDecl, Program
+from ..protocols.pathvector import path_vector_program
+from ..scenarios.generator import generate_scenario
+from .checkpoint import (
+    MAINTENANCE_KINDS,
+    SnapshotUnsupported,
+    build_topology,
+    capture_engine,
+    restore_engine,
+    restore_monitors,
+)
+from .config import ServerConfig
+from .protocol import UPDATE_VERBS, ProtocolError, as_tuple, canonical
+
+LEDGER_NAME = "updates.jsonl"
+SNAPSHOT_NAME = "snapshot.pkl"
+BOOT_NAME = "boot.json"
+
+#: Event kinds the settle loop leaves in the queue: the self-rescheduling
+#: soft-state timers.  Everything else is work the loop must drain.
+MAINTENANCE = frozenset(MAINTENANCE_KINDS)
+
+
+class ServiceError(RuntimeError):
+    """A request the service could not satisfy."""
+
+
+def build_serving_program(config: ServerConfig) -> Program:
+    """The daemon's NDlog program: plain or policy path-vector with the
+    config's soft-state lifetime overrides applied (mirrors the campaign
+    harness's ``build_program``)."""
+
+    if config.policy is None:
+        program = path_vector_program()
+    else:
+        program = policy_path_vector_program()
+    for predicate, lifetime in sorted(config.soft_state.items()):
+        decl = program.materialized.get(predicate)
+        if decl is None:
+            raise ServiceError(
+                f"soft_state override for {predicate!r}: no such materialized "
+                f"table in program {program.name!r}"
+            )
+        program.materialized[predicate] = MaterializeDecl(
+            predicate, lifetime, decl.max_size, decl.keys
+        )
+    return program
+
+
+class RouteService:
+    """A persistent engine process answering updates and queries."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.state_dir = Path(config.state_dir) if config.state_dir else None
+        #: applied-update count; stamp of every ledger line and snapshot
+        self.seq = 0
+        #: every accepted ``(verb, args)`` since boot — the replay source
+        #: for ``what_if`` forks
+        self.history: list[tuple[str, dict]] = []
+        #: did the last settle reach a fixpoint within the event budget?
+        self.settled = True
+        #: how this process reached its current state: ``"boot"``,
+        #: ``"replay"``, or ``"snapshot+replay"``
+        self.recovered_from = "boot"
+        self.engine: Optional[DistributedEngine] = None
+        self._boot()
+
+    # ------------------------------------------------------------------
+    # Boot and recovery
+    # ------------------------------------------------------------------
+    @property
+    def ledger_path(self) -> Optional[Path]:
+        return self.state_dir / LEDGER_NAME if self.state_dir else None
+
+    @property
+    def snapshot_path(self) -> Optional[Path]:
+        return self.state_dir / SNAPSHOT_NAME if self.state_dir else None
+
+    def _engine_config(self) -> EngineConfig:
+        return EngineConfig(
+            seed=self.config.seed,
+            refresh_interval=self.config.refresh_interval,
+            max_events=self.config.settle_max_events,
+            shards=self.config.shards,
+            partition=self.config.partition,
+        )
+
+    def _boot(self) -> None:
+        if self.state_dir:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            boot_path = self.state_dir / BOOT_NAME
+            if boot_path.exists():
+                persisted = json.loads(boot_path.read_text())
+                self.config = self.config.adopt_persisted(persisted["config"])
+            else:
+                boot_path.write_text(
+                    canonical_json({"config": self.config.to_dict()}) + "\n"
+                )
+        self.program = build_serving_program(self.config)
+        self.schema = schema_for_program(self.program)
+
+        updates = self._read_ledger()
+        restored_seq = self._try_snapshot_restore(updates)
+        if restored_seq is None:
+            self._fresh_engine()
+            if updates:
+                self.recovered_from = "replay"
+        else:
+            self.seq = restored_seq
+            self.history = [(verb, args) for verb, args in updates[:restored_seq]]
+            self.recovered_from = "snapshot+replay"
+        for verb, args in updates[self.seq:]:
+            self._apply(verb, args)
+
+    def _read_ledger(self) -> list[tuple[str, dict]]:
+        if not self.ledger_path:
+            return []
+        records = [
+            record
+            for record in read_jsonl(self.ledger_path)
+            if isinstance(record.get("seq"), int) and record.get("verb") in UPDATE_VERBS
+        ]
+        records.sort(key=lambda record: record["seq"])
+        out: list[tuple[str, dict]] = []
+        for record in records:
+            if record["seq"] == len(out) + 1:  # drop duplicates / gaps
+                out.append((record["verb"], record.get("args", {})))
+        return out
+
+    def _fresh_engine(self) -> None:
+        scenario = generate_scenario(
+            self.config.family,
+            size=self.config.size,
+            seed=self.config.topo_seed,
+            policy=self.config.policy,
+            loss=self.config.loss,
+        )
+        self.engine = create_engine(
+            self.program, scenario.topology, config=self._engine_config()
+        )
+        self._attach_monitors()
+        self.engine.seed_facts(scenario.policy_fact_list())
+        self._settle()
+
+    def _attach_monitors(self) -> None:
+        for kind in self.config.monitors:
+            self.engine.attach_monitor(build_monitor(kind, self.schema))
+
+    def _try_snapshot_restore(self, updates: list) -> Optional[int]:
+        """Restore from the snapshot file when possible; returns the restored
+        sequence number, or None to boot fresh (then replay in full)."""
+
+        if (
+            self.config.shards > 1
+            or not self.snapshot_path
+            or not self.snapshot_path.exists()
+        ):
+            return None
+        try:
+            with self.snapshot_path.open("rb") as handle:
+                snapshot = pickle.load(handle)
+        except Exception:
+            return None  # torn/corrupt snapshot: full replay still recovers
+        stamped_config = dict(snapshot.get("config", {}))
+        current_config = self.config.to_dict()
+        for key in ServerConfig.RESTART_SAFE:
+            stamped_config.pop(key, None)
+            current_config.pop(key, None)
+        if stamped_config != current_config or snapshot["seq"] > len(updates):
+            return None
+        engine = DistributedEngine(
+            self.program,
+            build_topology(snapshot["engine"]),
+            config=self._engine_config(),
+        )
+        self.engine = engine
+        self._attach_monitors()
+        restore_engine(engine, snapshot["engine"])
+        restore_monitors(engine, snapshot["engine"])
+        if engine.trace.fingerprint() != snapshot["fingerprint"]:
+            self.engine = None  # stamp mismatch: distrust it, full replay
+            return None
+        return snapshot["seq"]
+
+    def _write_snapshot(self) -> None:
+        try:
+            capture = capture_engine(self.engine)
+        except SnapshotUnsupported:
+            return
+        snapshot = {
+            "seq": self.seq,
+            "fingerprint": self.engine.trace.fingerprint(),
+            "config": self.config.to_dict(),
+            "engine": capture,
+        }
+        tmp_path = self.snapshot_path.with_suffix(".tmp")
+        with tmp_path.open("wb") as handle:
+            pickle.dump(snapshot, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.snapshot_path)
+
+    # ------------------------------------------------------------------
+    # The settle loop
+    # ------------------------------------------------------------------
+    def _settle(self) -> bool:
+        """Drive the engine to its next fixpoint, leaving only maintenance
+        timers queued.  Returns True when it fully settled within the event
+        budget.  Trace bookkeeping is set from the scheduler afterwards so
+        the fingerprint stays a pure function of the update sequence."""
+
+        engine = self.engine
+        scheduler = engine.scheduler
+        budget = self.config.settle_max_events
+        while budget > 0:
+            kinds = scheduler.pending_kinds()
+            if not kinds or kinds <= MAINTENANCE:
+                break
+            head = scheduler.peek_time()
+            processed = scheduler.run(until=head, max_events=budget)
+            budget -= max(processed, 1)
+        self._ensure_expiry_timer()
+        trace = engine.trace
+        trace.events_processed = scheduler.processed
+        trace.finished_at = scheduler.now
+        trace.quiescent = scheduler.is_empty
+        self.settled = scheduler.pending_kinds() <= MAINTENANCE
+        return self.settled
+
+    def _ensure_expiry_timer(self) -> None:
+        """Re-arm the soft-state expiry scan if external updates inserted
+        soft rows after the periodic timer let itself lapse (the batch
+        engine only arms it at seed time)."""
+
+        engine = self.engine
+        if not engine._has_soft_state():
+            return
+        if "expiry" in engine.scheduler.pending_kinds():
+            return
+        if engine._live_soft_rows():
+            engine.scheduler.schedule(
+                engine.config.expiry_scan_interval,
+                Event("expiry", engine._expire_soft_state, "soft-state expiry scan"),
+            )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def apply_update(self, verb: str, args: dict) -> dict:
+        """Validate, ledger (write-ahead), apply, and settle one update."""
+
+        args = canonical(args)
+        self._validate_update(verb, args)
+        if self.ledger_path:
+            append_jsonl(
+                self.ledger_path, {"seq": self.seq + 1, "verb": verb, "args": args}
+            )
+        ack = self._apply(verb, args)
+        if (
+            self.state_dir
+            and self.config.snapshot_every
+            and self.seq % self.config.snapshot_every == 0
+        ):
+            self._write_snapshot()
+        return ack
+
+    def _node(self, args: dict, key: str):
+        """A node id from JSON args — tuple node ids (the grid family's
+        ``(row, col)``) arrive as lists and are converted back."""
+
+        return as_tuple(args.get(key))
+
+    def _validate_update(self, verb: str, args: dict) -> None:
+        if verb in ("link_fail", "link_restore", "cost_change"):
+            for key in ("src", "dst"):
+                if self._node(args, key) not in self.engine.nodes:
+                    raise ProtocolError(f"unknown node {args.get(key)!r} for {key!r}")
+            if verb == "cost_change" and not isinstance(args.get("cost"), (int, float)):
+                raise ProtocolError("cost_change needs a numeric 'cost'")
+        elif verb in ("set_fact", "del_fact"):
+            values = args.get("values")
+            if not isinstance(args.get("predicate"), str) or not isinstance(values, list):
+                raise ProtocolError(f"{verb} needs 'predicate' (string) and 'values' (list)")
+            if not values or as_tuple(values)[0] not in self.engine.nodes:
+                raise ProtocolError(
+                    f"{verb}: values[0] must be the located node, got {values[:1]!r}"
+                )
+
+    def _apply(self, verb: str, args: dict) -> dict:
+        """Schedule one (already canonicalized) update and settle.  Ledger
+        replay runs through this identical code path, which is what makes
+        recovery byte-identical."""
+
+        engine = self.engine
+        at = engine.scheduler.now + self.config.sim_step
+        src, dst = self._node(args, "src"), self._node(args, "dst")
+        if verb == "link_fail":
+            engine.schedule_link_failure(src, dst, at)
+        elif verb == "link_restore":
+            engine.schedule_link_restore(src, dst, at)
+        elif verb == "cost_change":
+            engine.schedule_cost_change(src, dst, args["cost"], at)
+        elif verb == "set_fact":
+            engine.schedule_fact(args["predicate"], as_tuple(args["values"]), at)
+        elif verb == "del_fact":
+            engine.schedule_fact_delete(args["predicate"], as_tuple(args["values"]), at)
+        elif verb == "refresh":
+            engine.schedule_refresh(at)
+        else:
+            raise ProtocolError(f"unknown update verb {verb!r}")
+        self.history.append((verb, args))
+        self.seq = len(self.history)
+        settled = self._settle()
+        return {
+            "seq": self.seq,
+            "verb": verb,
+            "applied_at": at,
+            "settled": settled,
+            "sim_time": engine.scheduler.now,
+            "events": engine.trace.events_processed,
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, verb: str, args: dict) -> dict:
+        if verb == "ping":
+            return {"pong": True, "seq": self.seq, "settled": self.settled}
+        if verb == "best_path":
+            return self._best_path(args)
+        if verb == "routes":
+            return self._routes(args)
+        if verb == "table":
+            return self._table(args)
+        if verb == "status":
+            return self._status()
+        if verb == "fingerprint":
+            return self._fingerprint()
+        if verb == "what_if":
+            return self._what_if(args)
+        raise ProtocolError(f"unknown query verb {verb!r}")
+
+    def _best_row(self, src, dst) -> Optional[tuple]:
+        target = (src, dst)
+        for row in self.engine.rows(self.schema.best_predicate, node_id=src):
+            if tuple(row[p] for p in self.schema.group_positions) == target:
+                return row
+        return None
+
+    def _best_path(self, args: dict) -> dict:
+        src, dst = self._node(args, "src"), self._node(args, "dst")
+        if src not in self.engine.nodes or dst not in self.engine.nodes:
+            raise ProtocolError(f"unknown node in best_path({src!r}, {dst!r})")
+        row = self._best_row(src, dst)
+        if row is None:
+            return {"found": False, "src": src, "dst": dst, "seq": self.seq}
+        return {
+            "found": True,
+            "src": src,
+            "dst": dst,
+            "path": list(row[self.schema.best_vector_position]),
+            "metric": row[self.schema.best_value_position],
+            "seq": self.seq,
+        }
+
+    def _routes(self, args: dict) -> dict:
+        node = self._node(args, "node")
+        if node is not None and node not in self.engine.nodes:
+            raise ProtocolError(f"unknown node {node!r}")
+        schema = self.schema
+        routes = [
+            {
+                "src": row[schema.group_positions[0]],
+                "dst": row[schema.group_positions[1]],
+                "path": list(row[schema.best_vector_position]),
+                "metric": row[schema.best_value_position],
+            }
+            for row in self.engine.rows(schema.best_predicate, node_id=node)
+        ]
+        routes.sort(key=lambda r: (str(r["src"]), str(r["dst"])))
+        return {"routes": routes, "count": len(routes), "seq": self.seq}
+
+    def _table(self, args: dict) -> dict:
+        predicate = args.get("predicate")
+        if not isinstance(predicate, str):
+            raise ProtocolError("table needs a 'predicate' string")
+        node = self._node(args, "node")
+        if node is not None and node not in self.engine.nodes:
+            raise ProtocolError(f"unknown node {node!r}")
+        rows = sorted(
+            [list(row) for row in self.engine.rows(predicate, node_id=node)],
+            key=str,
+        )
+        return {"predicate": predicate, "rows": rows, "count": len(rows), "seq": self.seq}
+
+    def _status(self) -> dict:
+        engine = self.engine
+        self.engine.finalize_monitors()
+        trace = engine.trace
+        return {
+            "seq": self.seq,
+            "settled": self.settled,
+            "recovered_from": self.recovered_from,
+            "sim_time": engine.scheduler.now,
+            "events": trace.events_processed,
+            "quiescent": trace.quiescent,
+            "state_changes": trace.state_change_count,
+            "messages": trace.message_count,
+            "dropped_messages": engine.channel.dropped,
+            "nodes": len(engine.nodes),
+            "links_up": sum(1 for link in engine.topology.links() if link.up),
+            "routes": len(engine.rows(self.schema.best_predicate)),
+            "shards": self.config.shards,
+            "monitors": [monitor.report() for monitor in engine.monitors],
+            "monitors_ok": all(monitor.ok for monitor in engine.monitors),
+        }
+
+    def _fingerprint(self) -> dict:
+        trace = self.engine.trace
+        return {
+            "seq": self.seq,
+            "fingerprint": trace.fingerprint(),
+            "state_changes": trace.state_change_count,
+            "messages": trace.message_count,
+            "events": trace.events_processed,
+        }
+
+    def _what_if(self, args: dict) -> dict:
+        """Answer a query against a forked engine that has additionally
+        applied hypothetical updates; the live engine is untouched."""
+
+        updates = args.get("updates", [])
+        question = args.get("query")
+        if not isinstance(updates, list) or not isinstance(question, dict):
+            raise ProtocolError("what_if needs 'updates' (list) and 'query' (object)")
+        fork_config = replace(
+            self.config, state_dir=None, shards=1, snapshot_every=0
+        )
+        fork = RouteService(fork_config)
+        try:
+            for verb, past_args in self.history:
+                fork._apply(verb, past_args)
+            for update in updates:
+                verb = update.get("verb")
+                if verb not in UPDATE_VERBS:
+                    raise ProtocolError(f"what_if update verb {verb!r} unknown")
+                fork.apply_update(verb, update.get("args", {}))
+            q_verb = question.get("verb")
+            if q_verb in (None, "what_if"):
+                raise ProtocolError("what_if query must be a non-nested query verb")
+            answer = fork.query(q_verb, question.get("args", {}))
+        finally:
+            fork.close()
+        return {"base_seq": self.seq, "hypothetical": len(updates), "answer": answer}
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self.engine is not None:
+            self.engine.close()
+            self.engine = None

@@ -1,0 +1,150 @@
+"""Safe-point guards: engine-external updates must land between events.
+
+Mid-fixpoint the database is deliberately inconsistent (deletion deltas
+fire against the old tables, aggregate memos lag the rows), so
+``inject_fact`` / ``delete_fact`` / ``refresh_soft_state`` raise
+``NDlogError`` while a node fixpoint is executing — across all four
+execution paths (batched/per-tuple × retraction/monotonic) — and a
+rejected injection leaves the trace byte-identical to an undisturbed run.
+The scheduler itself refuses re-entrant ``run`` calls.
+"""
+
+import pytest
+
+from repro.dn.engine import DistributedEngine, EngineConfig, create_engine
+from repro.dn.events import Event
+from repro.dn.network import Topology
+from repro.ndlog.ast import NDlogError
+from repro.ndlog.parser import parse_program
+from repro.protocols.pathvector import PATH_VECTOR_SOURCE
+
+FOUR_PATHS = [
+    pytest.param(dict(batch_deltas=True, retract_derivations=True), id="batched-retract"),
+    pytest.param(dict(batch_deltas=True, retract_derivations=False), id="batched-monotonic"),
+    pytest.param(dict(batch_deltas=False, retract_derivations=True), id="pertuple-retract"),
+    pytest.param(dict(batch_deltas=False, retract_derivations=False), id="pertuple-monotonic"),
+]
+
+
+def square() -> Topology:
+    return Topology.from_edges(
+        [("a", "b", 1), ("b", "c", 1), ("c", "d", 1), ("a", "d", 5)]
+    )
+
+
+def build_engine(**config) -> DistributedEngine:
+    program = parse_program(PATH_VECTOR_SOURCE, "pv")
+    return create_engine(program, square(), config=EngineConfig(seed=0, **config))
+
+
+class Saboteur:
+    """A monitor that tries to inject an external update from inside every
+    state-change callback — exactly the mid-fixpoint entry the safe-point
+    guard must refuse."""
+
+    def __init__(self, operation: str) -> None:
+        self.operation = operation
+        self.attempts = 0
+        self.refusals = 0
+        self._engine = None
+
+    def attach(self, engine) -> None:
+        self._engine = engine
+
+    def on_change(self, time, node, predicate, values, kind) -> None:
+        engine = self._engine
+        if not engine.in_fixpoint:
+            return  # only probe the guarded region
+        self.attempts += 1
+        try:
+            if self.operation == "inject":
+                engine.inject_fact("link", ("a", "c", 9.0))
+            elif self.operation == "delete":
+                engine.delete_fact("link", ("a", "b", 1.0))
+            else:
+                engine.refresh_soft_state()
+        except NDlogError:
+            self.refusals += 1
+
+    def on_settle(self, time, node) -> None:
+        pass
+
+    def finalize(self, time) -> None:
+        pass
+
+
+class TestMidFixpointRefusal:
+    @pytest.mark.parametrize("config", FOUR_PATHS)
+    @pytest.mark.parametrize("operation", ["inject", "delete", "refresh"])
+    def test_every_path_refuses_and_trace_is_undisturbed(self, config, operation):
+        clean = build_engine(**config)
+        clean.run()
+        clean_fingerprint = clean.trace.fingerprint()
+        clean.close()
+
+        engine = build_engine(**config)
+        saboteur = Saboteur(operation)
+        engine.attach_monitor(saboteur)
+        # churn exercises the deletion/retraction paths mid-run as well
+        engine.schedule_link_failure("a", "b", 1.0)
+        engine.schedule_link_restore("a", "b", 2.0)
+        engine.run()
+        engine.close()
+
+        assert saboteur.attempts > 0, "saboteur never saw a mid-fixpoint change"
+        assert saboteur.refusals == saboteur.attempts
+
+        # ... and the refused updates changed nothing: same trace as a
+        # saboteur-free run with the same churn
+        control = build_engine(**config)
+        control.schedule_link_failure("a", "b", 1.0)
+        control.schedule_link_restore("a", "b", 2.0)
+        control.run()
+        control.close()
+        sabotaged = engine.trace.fingerprint()
+        assert sabotaged == control.trace.fingerprint()
+        assert sabotaged != clean_fingerprint  # the churn itself did land
+
+    @pytest.mark.parametrize("config", FOUR_PATHS)
+    def test_safe_point_updates_work_between_runs(self, config):
+        engine = build_engine(**config)
+        engine.run()
+        assert not engine.in_fixpoint
+        engine.inject_fact("link", ("a", "c", 1.0))
+        engine.run()
+        assert ("a", "c", 1.0) in engine.rows("link", "a")
+        engine.delete_fact("link", ("a", "c", 1.0))
+        engine.run()
+        assert ("a", "c", 1.0) not in engine.rows("link", "a")
+        engine.close()
+
+    @pytest.mark.parametrize("config", FOUR_PATHS)
+    def test_schedule_fact_delete_lands_at_its_time(self, config):
+        engine = build_engine(**config)
+        engine.schedule_fact_delete("link", ("a", "d", 5.0), at=1.0)
+        engine.run()
+        assert ("a", "d", 5.0) not in engine.rows("link", "a")
+        engine.close()
+
+
+class TestReentrantRun:
+    def test_event_callback_driving_scheduler_is_refused(self):
+        engine = build_engine()
+        engine.scheduler.schedule_at(
+            0.5, Event("test", lambda: engine.run(), "re-entrant run")
+        )
+        with pytest.raises(RuntimeError, match="re-entrant"):
+            engine.run()
+        engine.close()
+
+    def test_running_flag_resets_after_refusal(self):
+        engine = build_engine()
+        engine.scheduler.schedule_at(
+            0.5, Event("test", lambda: engine.scheduler.run(), "re-entrant run")
+        )
+        with pytest.raises(RuntimeError, match="re-entrant"):
+            engine.run()
+        assert engine.scheduler.running is False
+        engine.run()  # usable again after the failed call
+        assert engine.trace.quiescent
+        engine.close()

@@ -1,0 +1,173 @@
+"""Durability contract: snapshot round-trips, ledger replay, and crash
+recovery all reach byte-identical ``Trace.fingerprint()`` state."""
+
+import pickle
+
+import pytest
+
+from repro.serving import RouteService, ServerConfig
+from repro.serving.checkpoint import (
+    SnapshotUnsupported,
+    build_topology,
+    capture_engine,
+    restore_engine,
+)
+from repro.serving.service import LEDGER_NAME, SNAPSHOT_NAME
+
+UPDATES = [
+    ("link_fail", {"src": 0, "dst": 1}),
+    ("cost_change", {"src": 1, "dst": 2, "cost": 7.5}),
+    ("set_fact", {"predicate": "link", "values": [0, 5, 2.0]}),
+    ("link_restore", {"src": 0, "dst": 1}),
+    ("del_fact", {"predicate": "link", "values": [0, 5, 2.0]}),
+]
+
+
+def reference_fingerprint(**config_overrides) -> str:
+    """Fingerprint of an uninterrupted, non-durable run of UPDATES."""
+
+    service = RouteService(
+        ServerConfig(family="tree", size=16, snapshot_every=0, **config_overrides)
+    )
+    try:
+        for verb, args in UPDATES:
+            service.apply_update(verb, args)
+        return service.query("fingerprint", {})["fingerprint"]
+    finally:
+        service.close()
+
+
+def durable_config(tmp_path, **overrides) -> ServerConfig:
+    kwargs = {
+        "family": "tree",
+        "size": 16,
+        "state_dir": str(tmp_path / "state"),
+        "snapshot_every": 2,
+    }
+    kwargs.update(overrides)
+    return ServerConfig(**kwargs)
+
+
+def run_durable(config) -> str:
+    service = RouteService(config)
+    try:
+        for verb, args in UPDATES:
+            service.apply_update(verb, args)
+        return service.query("fingerprint", {})["fingerprint"]
+    finally:
+        service.close()
+
+
+class TestSnapshotRoundTrip:
+    def test_capture_restore_identity(self):
+        service = RouteService(ServerConfig(family="tree", size=16, snapshot_every=0))
+        try:
+            for verb, args in UPDATES[:3]:
+                service.apply_update(verb, args)
+            fingerprint = service.engine.trace.fingerprint()
+            capture = pickle.loads(pickle.dumps(capture_engine(service.engine)))
+        finally:
+            service.close()
+
+        from repro.dn.engine import DistributedEngine, EngineConfig
+        from repro.serving.service import build_serving_program
+
+        config = ServerConfig(family="tree", size=16)
+        engine = DistributedEngine(
+            build_serving_program(config),
+            build_topology(capture),
+            config=EngineConfig(seed=config.seed, max_events=config.settle_max_events),
+        )
+        restore_engine(engine, capture)
+        assert engine.trace.fingerprint() == fingerprint
+
+    def test_capture_refuses_sharded_engine(self):
+        service = RouteService(
+            ServerConfig(family="tree", size=12, shards=2, snapshot_every=0)
+        )
+        try:
+            with pytest.raises(SnapshotUnsupported):
+                capture_engine(service.engine)
+        finally:
+            service.close()
+
+
+class TestRecovery:
+    def test_live_durable_run_matches_reference(self, tmp_path):
+        assert run_durable(durable_config(tmp_path)) == reference_fingerprint()
+
+    def test_snapshot_plus_ledger_tail(self, tmp_path):
+        config = durable_config(tmp_path)
+        reference = run_durable(config)
+        recovered = RouteService(durable_config(tmp_path))
+        try:
+            assert recovered.recovered_from == "snapshot+replay"
+            assert recovered.seq == len(UPDATES)
+            assert recovered.query("fingerprint", {})["fingerprint"] == reference
+        finally:
+            recovered.close()
+
+    def test_full_ledger_replay_without_snapshot(self, tmp_path):
+        config = durable_config(tmp_path)
+        reference = run_durable(config)
+        (tmp_path / "state" / SNAPSHOT_NAME).unlink()
+        recovered = RouteService(durable_config(tmp_path))
+        try:
+            assert recovered.recovered_from == "replay"
+            assert recovered.query("fingerprint", {})["fingerprint"] == reference
+        finally:
+            recovered.close()
+
+    def test_torn_ledger_line_is_skipped(self, tmp_path):
+        reference = run_durable(durable_config(tmp_path))
+        ledger = tmp_path / "state" / LEDGER_NAME
+        with ledger.open("a") as handle:
+            handle.write('{"seq": 6, "verb": "link_fail", "args": {"sr')
+        recovered = RouteService(durable_config(tmp_path))
+        try:
+            assert recovered.seq == len(UPDATES)
+            assert recovered.query("fingerprint", {})["fingerprint"] == reference
+        finally:
+            recovered.close()
+
+    def test_corrupt_snapshot_falls_back_to_replay(self, tmp_path):
+        reference = run_durable(durable_config(tmp_path))
+        (tmp_path / "state" / SNAPSHOT_NAME).write_bytes(b"not a pickle")
+        recovered = RouteService(durable_config(tmp_path))
+        try:
+            assert recovered.recovered_from == "replay"
+            assert recovered.query("fingerprint", {})["fingerprint"] == reference
+        finally:
+            recovered.close()
+
+    def test_recovery_continues_accepting_updates(self, tmp_path):
+        run_durable(durable_config(tmp_path))
+        recovered = RouteService(durable_config(tmp_path))
+        try:
+            ack = recovered.apply_update("link_fail", {"src": 0, "dst": 1})
+            assert ack["seq"] == len(UPDATES) + 1 and ack["settled"]
+        finally:
+            recovered.close()
+
+    def test_sharded_daemon_recovers_by_replay(self, tmp_path):
+        reference = reference_fingerprint()
+        config = durable_config(tmp_path, shards=2)
+        assert run_durable(config) == reference
+        recovered = RouteService(durable_config(tmp_path, shards=2))
+        try:
+            assert recovered.recovered_from == "replay"  # no sharded snapshots
+            assert recovered.query("fingerprint", {})["fingerprint"] == reference
+        finally:
+            recovered.close()
+
+    def test_boot_record_pins_determinism_fields(self, tmp_path):
+        """A restart with different scenario flags must run the persisted
+        config — the ledger is only meaningful against the original one."""
+
+        run_durable(durable_config(tmp_path))
+        recovered = RouteService(durable_config(tmp_path, size=99, topo_seed=7))
+        try:
+            assert recovered.config.size == 16
+            assert recovered.config.topo_seed == 0
+        finally:
+            recovered.close()

@@ -1,0 +1,177 @@
+"""In-process coverage of :class:`repro.serving.service.RouteService`:
+update application, query answers, what-if isolation, and validation."""
+
+import pytest
+
+from repro.serving import ProtocolError, RouteService, ServerConfig
+from repro.serving.service import build_serving_program
+
+
+@pytest.fixture()
+def service():
+    svc = RouteService(ServerConfig(family="tree", size=12, snapshot_every=0))
+    yield svc
+    svc.close()
+
+
+class TestBoot:
+    def test_boots_settled_with_routes(self, service):
+        assert service.settled
+        assert service.recovered_from == "boot"
+        routes = service.query("routes", {})
+        assert routes["count"] > 0
+        assert routes["seq"] == 0
+
+    def test_soft_state_override_unknown_predicate(self):
+        config = ServerConfig(soft_state={"nope": 5.0})
+        with pytest.raises(Exception, match="nope"):
+            build_serving_program(config)
+
+    def test_monitors_attached(self, service):
+        status = service.query("status", {})
+        kinds = {m["monitor"] for m in status["monitors"]}
+        assert kinds == set(ServerConfig().monitors)
+        assert status["monitors_ok"]
+
+
+class TestUpdates:
+    def test_link_fail_withdraws_and_restore_recovers(self, service):
+        before = service.query("best_path", {"src": 0, "dst": 1})
+        assert before["found"]
+        ack = service.apply_update("link_fail", {"src": 0, "dst": 1})
+        assert ack["seq"] == 1 and ack["settled"]
+        assert not service.query("best_path", {"src": 0, "dst": 1})["found"]
+        service.apply_update("link_restore", {"src": 0, "dst": 1})
+        after = service.query("best_path", {"src": 0, "dst": 1})
+        assert after["found"] and after["path"] == before["path"]
+
+    def test_cost_change_shifts_best_metric(self, service):
+        before = service.query("best_path", {"src": 0, "dst": 1})
+        service.apply_update(
+            "cost_change", {"src": 0, "dst": 1, "cost": before["metric"] + 5}
+        )
+        after = service.query("best_path", {"src": 0, "dst": 1})
+        assert after["metric"] != before["metric"]
+
+    def test_set_then_del_fact_round_trips_fingerprint_forward(self, service):
+        fp0 = service.query("fingerprint", {})["fingerprint"]
+        service.apply_update(
+            "set_fact", {"predicate": "link", "values": [0, 5, 1.5]}
+        )
+        assert service.query("table", {"predicate": "link", "node": 0})["count"] > 0
+        service.apply_update(
+            "del_fact", {"predicate": "link", "values": [0, 5, 1.5]}
+        )
+        # state changed (the fingerprint covers the whole change stream)
+        assert service.query("fingerprint", {})["fingerprint"] != fp0
+        assert service.seq == 2
+
+    def test_sim_time_advances_deterministically(self, service):
+        t0 = service.query("status", {})["sim_time"]
+        service.apply_update("link_fail", {"src": 0, "dst": 1})
+        t1 = service.query("status", {})["sim_time"]
+        assert t1 > t0
+
+    def test_refresh_verb_applies_on_soft_state_program(self):
+        svc = RouteService(
+            ServerConfig(family="tree", size=8, soft_state={"link": 30.0})
+        )
+        try:
+            ack = svc.apply_update("refresh", {})
+            assert ack["settled"]
+        finally:
+            svc.close()
+
+
+class TestQueries:
+    def test_best_path_missing_route(self, service):
+        service.apply_update("link_fail", {"src": 0, "dst": 1})
+        answer = service.query("best_path", {"src": 0, "dst": 1})
+        assert answer == {"found": False, "src": 0, "dst": 1, "seq": 1}
+
+    def test_routes_node_filter(self, service):
+        all_routes = service.query("routes", {})
+        node_routes = service.query("routes", {"node": 0})
+        assert 0 < node_routes["count"] < all_routes["count"]
+        assert all(r["src"] == 0 for r in node_routes["routes"])
+
+    def test_table_rows_sorted_json_shaped(self, service):
+        table = service.query("table", {"predicate": "link"})
+        assert table["count"] == len(table["rows"])
+        assert all(isinstance(row, list) for row in table["rows"])
+
+    def test_ping(self, service):
+        assert service.query("ping", {})["pong"] is True
+
+    def test_status_counts(self, service):
+        status = service.query("status", {})
+        assert status["nodes"] == 12
+        assert status["links_up"] > 0
+        assert status["shards"] == 1
+        assert status["settled"]
+
+
+class TestWhatIf:
+    def test_fork_answers_without_touching_live_state(self, service):
+        fp = service.query("fingerprint", {})["fingerprint"]
+        result = service.query(
+            "what_if",
+            {
+                "updates": [{"verb": "link_fail", "args": {"src": 0, "dst": 1}}],
+                "query": {"verb": "best_path", "args": {"src": 0, "dst": 1}},
+            },
+        )
+        assert result["answer"]["found"] is False
+        assert result["hypothetical"] == 1
+        # live engine untouched
+        assert service.query("best_path", {"src": 0, "dst": 1})["found"]
+        assert service.query("fingerprint", {})["fingerprint"] == fp
+
+    def test_fork_sees_accepted_history(self, service):
+        service.apply_update("link_fail", {"src": 0, "dst": 1})
+        result = service.query(
+            "what_if",
+            {
+                "updates": [{"verb": "link_restore", "args": {"src": 0, "dst": 1}}],
+                "query": {"verb": "best_path", "args": {"src": 0, "dst": 1}},
+            },
+        )
+        assert result["base_seq"] == 1
+        assert result["answer"]["found"] is True
+
+    def test_nested_what_if_rejected(self, service):
+        with pytest.raises(ProtocolError):
+            service.query(
+                "what_if", {"updates": [], "query": {"verb": "what_if", "args": {}}}
+            )
+
+
+class TestValidation:
+    def test_unknown_node_rejected(self, service):
+        with pytest.raises(ProtocolError, match="unknown node"):
+            service.apply_update("link_fail", {"src": 99, "dst": 0})
+        assert service.seq == 0
+
+    def test_cost_change_requires_numeric_cost(self, service):
+        with pytest.raises(ProtocolError, match="numeric"):
+            service.apply_update("cost_change", {"src": 0, "dst": 1, "cost": "x"})
+
+    def test_set_fact_requires_located_values(self, service):
+        with pytest.raises(ProtocolError, match="located"):
+            service.apply_update("set_fact", {"predicate": "link", "values": [99, 0, 1]})
+
+    def test_unknown_query_verb(self, service):
+        with pytest.raises(ProtocolError, match="unknown query verb"):
+            service.query("nonsense", {})
+
+
+class TestTupleNodeIds:
+    def test_grid_node_ids_survive_json_round_trip(self):
+        svc = RouteService(ServerConfig(family="grid", size=9, snapshot_every=0))
+        try:
+            answer = svc.query("best_path", {"src": [0, 0], "dst": [2, 2]})
+            assert answer["found"]
+            ack = svc.apply_update("link_fail", {"src": [0, 0], "dst": [0, 1]})
+            assert ack["settled"]
+        finally:
+            svc.close()
