@@ -21,6 +21,10 @@ Two checks:
    wire verb in ``repro/serving/protocol.py`` (``UPDATE_VERBS`` +
    ``QUERY_VERBS``) must appear in ``docs/SERVING.md``.
 
+4. **Fault-kind coverage** — every injectable fault kind in
+   ``repro/dn/faults.py`` (``FAULT_KINDS``) must be documented in
+   ``docs/FAULTS.md``, so new chaos faults cannot land undocumented.
+
 Exit status 0 = all good; 1 = violations (listed on stdout).
 
 Usage::
@@ -108,12 +112,12 @@ def cli_flags(module_path: pathlib.Path) -> list[str]:
     return flags
 
 
-def wire_verbs(module_path: pathlib.Path) -> list[str]:
-    """The serving verbs: string tuples ``UPDATE_VERBS`` + ``QUERY_VERBS``."""
+def string_tuples(module_path: pathlib.Path, names: tuple[str, ...]) -> list[str]:
+    """The string elements of module-level tuple assignments ``names``."""
 
     tree = ast.parse(module_path.read_text(), filename=str(module_path))
-    verbs: list[str] = []
-    for name in ("UPDATE_VERBS", "QUERY_VERBS"):
+    values: list[str] = []
+    for name in names:
         for node in ast.walk(tree):
             if (
                 isinstance(node, ast.Assign)
@@ -122,14 +126,20 @@ def wire_verbs(module_path: pathlib.Path) -> list[str]:
                 )
                 and isinstance(node.value, ast.Tuple)
             ):
-                verbs.extend(
+                values.extend(
                     elt.value
                     for elt in node.value.elts
                     if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
                 )
-    if not verbs:
-        raise SystemExit(f"no verb tuples found in {module_path}")
-    return verbs
+    if not values:
+        raise SystemExit(f"no {'/'.join(names)} tuples found in {module_path}")
+    return values
+
+
+def wire_verbs(module_path: pathlib.Path) -> list[str]:
+    """The serving verbs: string tuples ``UPDATE_VERBS`` + ``QUERY_VERBS``."""
+
+    return string_tuples(module_path, ("UPDATE_VERBS", "QUERY_VERBS"))
 
 
 def main() -> int:
@@ -178,12 +188,25 @@ def main() -> int:
                 print(f"UNDOCUMENTED VERB: {verb} not mentioned in docs/SERVING.md")
                 failures += 1
 
+    faults_md_path = root / "docs" / "FAULTS.md"
+    if not faults_md_path.exists():
+        print(f"MISSING FILE: {faults_md_path}")
+        failures += 1
+    else:
+        faults_md = faults_md_path.read_text()
+        for kind in string_tuples(
+            root / "src" / "repro" / "dn" / "faults.py", ("FAULT_KINDS",)
+        ):
+            if f"`{kind}`" not in faults_md:
+                print(f"UNDOCUMENTED FAULT KIND: {kind} not mentioned in docs/FAULTS.md")
+                failures += 1
+
     if failures:
         print(f"\n{failures} documentation violation(s)")
         return 1
     print(
         "docs check: all modules documented, all config fields, serving "
-        "flags, and wire verbs covered"
+        "flags, wire verbs, and fault kinds covered"
     )
     return 0
 

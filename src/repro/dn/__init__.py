@@ -9,10 +9,11 @@ P2 system plays in the paper (arc 7 of Figure 1).
 from .engine import DistributedEngine, EngineConfig, create_engine, run_program
 from .events import Event, EventScheduler
 from .executor import FixpointExecutor
+from .faults import Fault, FaultInjector, FaultPlan
 from .network import Channel, Link, Message, NodeId, Topology
 from .node import Node, NodeStats
 from .partition import PARTITION_STRATEGIES, edge_cut, partition_nodes
-from .shard import ShardedEngine, ShardError, ShardWorker
+from .shard import ShardCrash, ShardedEngine, ShardError, ShardTimeout, ShardWorker
 from .trace import MessageRecord, StateChange, Trace
 
 __all__ = [
@@ -21,6 +22,9 @@ __all__ = [
     "EngineConfig",
     "Event",
     "EventScheduler",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
     "FixpointExecutor",
     "Link",
     "Message",
@@ -29,7 +33,9 @@ __all__ = [
     "NodeId",
     "NodeStats",
     "PARTITION_STRATEGIES",
+    "ShardCrash",
     "ShardError",
+    "ShardTimeout",
     "ShardWorker",
     "ShardedEngine",
     "StateChange",

@@ -124,6 +124,15 @@ class EngineConfig:
     #: (the scaling configuration), ``"inline"`` hosts them in-process
     #: (same code path minus the IPC — used by differential tests).
     shard_transport: str = "process"
+    #: Times the coordinator may respawn+resync any one crashed shard
+    #: worker before degrading to a clean ``NDlogError``.  Respawned
+    #: workers are rebuilt from the coordinator's replica tables, keeping
+    #: ``Trace.fingerprint()`` byte-identical (see ``docs/FAULTS.md``).
+    shard_restarts: int = 2
+    #: Seconds the coordinator waits for a shard worker's response before
+    #: declaring it hung, killing it, and applying the restart policy
+    #: (None waits forever — the pre-supervision behavior).
+    shard_timeout: Optional[float] = None
 
 
 class EngineMonitor(Protocol):

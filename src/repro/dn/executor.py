@@ -48,6 +48,16 @@ Op = tuple[str, str, tuple]
 RecordChange = Callable[[float, object, str, tuple, str], None]
 Send = Callable[[object, object, str, tuple, str], None]
 
+#: meta-record kinds emitted through the optional ``record_meta`` callback:
+#: bookkeeping that changes no visible tuple (so it must stay out of the
+#: trace and the monitors) but that the sharded coordinator must mirror into
+#: its replica tables for crash-resync to be byte-faithful — ``support`` (a
+#: duplicate derivation counted / soft-state lifetime refreshed),
+#: ``release`` (a support dropped with the row surviving), ``mark`` /
+#: ``unmark`` (displacement marks), and ``index`` (a lazy hash index built,
+#: ``values`` = the indexed positions)
+META_KINDS = ("support", "release", "mark", "unmark", "index")
+
 
 class FixpointExecutor:
     """Runs one node's delta batches to a local fixpoint.
@@ -69,6 +79,7 @@ class FixpointExecutor:
         build_rule_state: bool = True,
         record_change: RecordChange,
         send: Send,
+        record_meta: Optional[RecordChange] = None,
     ) -> None:
         self.program = program
         self.rule_engine = rule_engine
@@ -76,6 +87,9 @@ class FixpointExecutor:
         self.retract_derivations = retract_derivations
         self.record_change = record_change
         self.send = send
+        #: optional side channel for invisible bookkeeping (see META_KINDS);
+        #: None in the single-process engine, the worker's collector in shards
+        self.record_meta = record_meta
         # rules indexed by the body predicates that can trigger them, plus a
         # memo of the per-delta plain/aggregate split (computed once per
         # distinct delta-predicate set instead of once per delivery round)
@@ -353,8 +367,12 @@ class FixpointExecutor:
                             # as stale would let the re-insert resurrect a
                             # withdrawn derivation
                             requeue.append((kind, predicate, values))
-                            continue
+                        # otherwise: stale retraction of an absent/replaced
+                        # row, nothing stored to release
+                        continue
                     if not table.release(row):
+                        if self.record_meta is not None:
+                            self.record_meta(now, node.id, predicate, row, "release")
                         continue
                 elif kind == "expire":
                     if not table.row_expired(row, now):
@@ -393,6 +411,8 @@ class FixpointExecutor:
                         key = node.db.table(predicate).key_of(row)
                         if key in marked and (predicate, key) not in displacing:
                             marked.discard(key)
+                            if self.record_meta is not None:
+                                self.record_meta(now, node.id, predicate, row, "unmark")
                             refill.setdefault(predicate, set()).add(key)
                     node.delete(predicate, row)
                     self.record_change(now, node.id, predicate, row, kind)
@@ -444,6 +464,8 @@ class FixpointExecutor:
                     node.displaced.setdefault(predicate, set()).add(
                         table.key_of(row)
                     )
+                    if self.record_meta is not None:
+                        self.record_meta(now, node.id, predicate, row, "mark")
                     requeue.append(("displace", predicate, previous))
                     requeue.append(("insert", predicate, row))
                     continue
@@ -515,6 +537,11 @@ class FixpointExecutor:
 
         changed, table = node.upsert(predicate, values, now)
         if not changed:
+            # a duplicate support was counted (and, for soft state, the
+            # row's lifetime refreshed): invisible to the trace, but the
+            # sharded replica must mirror it for crash-resync
+            if self.record_meta is not None:
+                self.record_meta(now, node.id, predicate, values, "support")
             return False
         kind = "replace" if table.keys else "insert"
         self.record_change(now, node.id, predicate, values, kind)

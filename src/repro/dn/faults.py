@@ -1,0 +1,253 @@
+"""Deterministic fault injection for the sharded and serving runtimes.
+
+Chaos testing is only useful here if every provoked failure is *exactly*
+reproducible: the whole repository is built on byte-identical
+``Trace.fingerprint()`` comparisons, so a fault that fires at a different
+point on a re-run would make failures undebuggable.  This module therefore
+injects faults by **count, not by clock**: a :class:`Fault` names a kind, a
+scope (which shard, or the serving front end) and the ordinal probe at
+which it fires, a :class:`FaultPlan` is a plain-data collection of faults
+(seedable via :meth:`FaultPlan.generate`, JSON round-trippable for CLI
+``--fault-plan`` files), and a :class:`FaultInjector` counts the *probes*
+the runtime performs — one per shard request, serving request, or snapshot
+write — and answers "does a fault fire here?".  Replaying the same plan
+against the same deterministic run reproduces the same failure at the same
+event, every time.
+
+Fault kinds (``FAULT_KINDS``):
+
+* ``kill_worker`` — SIGKILL a shard worker process just before its Nth
+  request (inline shards simulate the death), exercising the
+  supervision/resync path in :class:`~repro.dn.shard.ShardedEngine`;
+* ``sever_pipe`` — close the coordinator's end of a shard pipe, so the
+  next request fails with a crash, not a hang;
+* ``delay_pipe`` — make the worker sleep ``arg`` seconds before reading
+  its next request, exercising the ``shard_timeout`` hang detector;
+* ``reset_connection`` — abort a serving TCP connection at the Nth
+  request, either before dispatch (``arg == "recv"``) or after the update
+  applied but before the ack was written (``arg == "ack"``, the lost-ack
+  case the exactly-once retry contract exists for);
+* ``tear_snapshot`` — truncate the Nth snapshot write mid-file,
+  exercising the recovery path's corrupt-snapshot fallback.
+
+The injector consumed by a run records every probe decision in
+:attr:`FaultInjector.events` so chaos harnesses can emit an evidence
+artifact of exactly what was injected where.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+#: Every fault kind the runtime knows how to inject (documented in
+#: ``docs/FAULTS.md``; ``scripts/check_docs.py`` gates the two).
+FAULT_KINDS = (
+    "kill_worker",
+    "sever_pipe",
+    "delay_pipe",
+    "reset_connection",
+    "tear_snapshot",
+)
+
+#: Wildcard scope: the fault fires on the Nth probe of its kind anywhere.
+ANY_SCOPE = "*"
+
+#: Scope used by the serving layer's probes (connection resets, snapshot
+#: tears are not per-shard).
+SERVING_SCOPE = "serving"
+
+
+class FaultError(ValueError):
+    """A fault or fault plan failed validation."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure: ``kind`` fires at the ``at``-th probe of
+    ``scope`` (1-based; ``scope`` may be :data:`ANY_SCOPE`)."""
+
+    kind: str
+    scope: Union[int, str] = ANY_SCOPE
+    at: int = 1
+    #: kind-specific parameter: seconds for ``delay_pipe``, the phase
+    #: (``"recv"``/``"ack"``) for ``reset_connection``
+    arg: object = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r} (expected one of {FAULT_KINDS})"
+            )
+        if not isinstance(self.at, int) or self.at < 1:
+            raise FaultError(f"fault 'at' must be a positive int, got {self.at!r}")
+        if self.kind == "delay_pipe" and not isinstance(self.arg, (int, float)):
+            raise FaultError("delay_pipe faults need a numeric 'arg' (seconds)")
+        if self.kind == "reset_connection" and self.arg not in (None, "recv", "ack"):
+            raise FaultError("reset_connection 'arg' must be 'recv' or 'ack'")
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "scope": self.scope, "at": self.at}
+        if self.arg is not None:
+            out["arg"] = self.arg
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Fault":
+        return cls(
+            kind=data["kind"],
+            scope=data.get("scope", ANY_SCOPE),
+            at=int(data.get("at", 1)),
+            arg=data.get("arg"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, plain-data collection of faults (JSON round-trippable)."""
+
+    faults: tuple[Fault, ...] = ()
+    #: the seed :meth:`generate` used, kept for evidence artifacts
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        kinds: Sequence[str] = ("kill_worker",),
+        scopes: Sequence[Union[int, str]] = (ANY_SCOPE,),
+        count: int = 3,
+        max_at: int = 40,
+        delay: float = 1.0,
+    ) -> "FaultPlan":
+        """A seeded random plan: ``count`` faults over ``kinds`` × ``scopes``
+        with probe ordinals in ``[1, max_at]``.  Same arguments → same plan."""
+
+        rng = random.Random(seed)
+        faults = []
+        for _ in range(count):
+            kind = rng.choice(list(kinds))
+            arg: object = None
+            if kind == "delay_pipe":
+                arg = delay
+            elif kind == "reset_connection":
+                arg = rng.choice(("recv", "ack"))
+            faults.append(
+                Fault(
+                    kind=kind,
+                    scope=rng.choice(list(scopes)),
+                    at=rng.randint(1, max_at),
+                    arg=arg,
+                )
+            )
+        return cls(faults=tuple(faults), seed=seed)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultPlan":
+        return cls(
+            faults=tuple(Fault.from_dict(f) for f in data.get("faults", ())),
+            seed=data.get("seed"),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FaultError(f"cannot load fault plan {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+
+@dataclass
+class FaultInjector:
+    """Counts runtime probes and decides which faults fire where.
+
+    The runtime calls :meth:`draw(kind, scope)` once per probe point (one
+    shard request, one serving request, one snapshot write).  The injector
+    keeps one counter per ``(kind, scope)`` pair plus one global counter per
+    kind; an exact-scope fault fires when its scope's counter reaches
+    ``at``, a wildcard fault when the kind's global counter does.  Each
+    fault fires at most once.  All probe decisions are appended to
+    :attr:`events` for evidence artifacts.
+    """
+
+    plan: FaultPlan
+    _exact: dict = field(default_factory=dict)
+    _global: dict = field(default_factory=dict)
+    _fired: set = field(default_factory=set)
+    events: list = field(default_factory=list)
+
+    def draw(self, kind: str, scope: Union[int, str]) -> Optional[Fault]:
+        """Advance the ``(kind, scope)`` probe counter; the fault that fires
+        here, if any."""
+
+        exact = self._exact[(kind, scope)] = self._exact.get((kind, scope), 0) + 1
+        total = self._global[kind] = self._global.get(kind, 0) + 1
+        for index, fault in enumerate(self.plan.faults):
+            if index in self._fired or fault.kind != kind:
+                continue
+            if fault.scope == ANY_SCOPE:
+                if fault.at != total:
+                    continue
+            elif fault.scope != scope or fault.at != exact:
+                continue
+            self._fired.add(index)
+            self.events.append(
+                {"fault": fault.to_dict(), "probe": {"scope": scope, "n": exact}}
+            )
+            return fault
+        return None
+
+    def fired(self) -> list[dict]:
+        """The faults that have fired so far, with the probes they hit."""
+
+        return list(self.events)
+
+    def pending(self) -> list[Fault]:
+        """Planned faults that have not fired yet."""
+
+        return [
+            fault
+            for index, fault in enumerate(self.plan.faults)
+            if index not in self._fired
+        ]
+
+
+def load_injector(
+    plan: Union[FaultPlan, str, Path, None],
+) -> Optional[FaultInjector]:
+    """An injector from a plan object or a JSON plan file (None → None)."""
+
+    if plan is None:
+        return None
+    if isinstance(plan, FaultPlan):
+        return FaultInjector(plan)
+    return FaultInjector(FaultPlan.load(plan))
+
+
+__all__ = [
+    "ANY_SCOPE",
+    "SERVING_SCOPE",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "load_injector",
+]

@@ -43,23 +43,47 @@ in-process for tests and debugging (same code path minus the IPC).  Use
 :func:`repro.dn.engine.create_engine` to build whichever engine a config
 asks for, and ``close()`` a sharded engine when done — its replicated
 state stays readable afterwards.
+
+**Supervision.**  Worker process death (or a hang longer than
+``EngineConfig.shard_timeout``) raises :class:`ShardCrash` inside the
+coordinator, which respawns the worker and **resyncs** its partition from
+the replica tables: rows with their support counts and timestamps,
+displacement marks, index bucket orders, protected base predicates, and
+node stats are pushed back (``load_state``), aggregate view memos are
+recomputed worker-side, and the crashed request is retried.  Because the
+replica is only advanced *after* a request's results return, a worker that
+dies mid-request leaves the replica at the pre-request state, so the retry
+recomputes exactly what the dead worker would have produced —
+``Trace.fingerprint()`` stays byte-identical to an undisturbed run (the
+supervision tests sweep kill points to enforce this).  After
+``EngineConfig.shard_restarts`` respawns of one shard the engine degrades
+to a clean :class:`~repro.ndlog.ast.NDlogError` instead of hanging.
+Deterministic failures (a worker *traceback*) still raise
+:class:`ShardError` immediately — respawning would just re-execute the
+bug.  Faults can be injected on purpose via :meth:`ShardedEngine.
+inject_faults` (see :mod:`repro.dn.faults` and ``docs/FAULTS.md``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
+import time
 import traceback
 from typing import Optional
 
 from ..logic.bmc import FunctionRegistry
-from ..ndlog.ast import Program
+from ..ndlog.ast import NDlogError, Program
 from ..ndlog.functions import builtin_registry
 from ..ndlog.localization import localize_program
 from ..ndlog.seminaive import RuleEngine
+from ..ndlog.store import StoredTuple
 from .engine import DistributedEngine, EngineConfig
 from .executor import FixpointExecutor, Op
+from .faults import FaultInjector, FaultPlan
 from .network import NodeId, Topology
-from .node import Node
+from .node import Node, NodeStats
 from .partition import edge_cut, partition_nodes, shard_members
 
 #: a state change collected at a worker: (node, predicate, values, kind)
@@ -70,6 +94,20 @@ SendRecord = tuple[NodeId, NodeId, str, tuple, str]
 
 class ShardError(RuntimeError):
     """A shard worker failed or the sharded engine was misused."""
+
+
+class ShardCrash(ShardError):
+    """A shard worker process died (or its pipe broke) mid-protocol.
+
+    Distinguished from :class:`ShardError` (a worker *traceback*, i.e. a
+    deterministic bug that a respawn would just re-execute) because crashes
+    are what the supervision machinery can recover from.
+    """
+
+
+class ShardTimeout(ShardCrash):
+    """A shard worker exceeded ``EngineConfig.shard_timeout`` and is
+    treated as crashed (it is killed before the respawn)."""
 
 
 class ShardWorker:
@@ -111,7 +149,21 @@ class ShardWorker:
             retract_derivations=config.retract_derivations,
             record_change=self._collect_change,
             send=self._collect_send,
+            record_meta=self._collect_change,
         )
+        # mirror lazy index builds into the record stream so the
+        # coordinator's replica keeps identical bucket orders (a crash
+        # resync pushes replica buckets back verbatim; lazily rebuilt
+        # indexes could iterate joins in a different order after keyed
+        # re-bindings and diverge the fingerprint)
+        for node_id, node in self.nodes.items():
+            node.db.hook_index_builds(self._index_collector(node_id))
+
+    def _index_collector(self, node_id: NodeId):
+        def collect(predicate: str, positions: tuple[int, ...]) -> None:
+            self._records.append((node_id, predicate, tuple(positions), "index"))
+
+        return collect
 
     # -- executor effect sinks ---------------------------------------------
     def _collect_change(
@@ -183,6 +235,63 @@ class ShardWorker:
     def ping(self) -> bool:
         return True
 
+    def load_state(self, state: dict) -> bool:
+        """Adopt a partition's full structural state after a respawn.
+
+        ``state`` is the coordinator's export of its replica (see
+        :meth:`ShardedEngine._export_shard_state`): per-node tables as
+        ``(key, values, inserted_at, expires_at, count)`` rows in replica
+        iteration order, index buckets verbatim, displacement marks, node
+        stats, and the protected-predicate set.  Aggregate view memos are
+        process-local (keyed by rule identity) and replica nodes never fire
+        rules, so they are **recomputed** here — sound because resync
+        happens at a settle point, where each memo equals a fresh recompute
+        of its rule (any body change before the crash re-triggered the
+        recompute before quiescence).  The scratch indexes those recomputes
+        may lazily build are discarded: the exported buckets are restored
+        afterwards, so the worker ends bit-identical to one that never
+        died.
+        """
+
+        for predicate in state["protected"]:
+            self.executor.protect(predicate)
+        for node_id, entry in state["nodes"].items():
+            node = self.nodes[node_id]
+            node.stats = NodeStats(**entry["stats"])
+            node.displaced = {
+                predicate: set(tuple(key) for key in keys)
+                for predicate, keys in entry["displaced"].items()
+            }
+            for predicate, rows, _indexes in entry["tables"]:
+                table = node.db.table(predicate)
+                table._rows.clear()
+                table._counts.clear()
+                table._indexes = {}
+                for key, values, inserted_at, expires_at, count in rows:
+                    table._rows[tuple(key)] = StoredTuple(
+                        tuple(values), inserted_at, expires_at
+                    )
+                    table._counts[tuple(key)] = count
+            node.view_memo = {}
+            for rule in self.program.rules:
+                if rule.head.has_aggregate:
+                    # rule_engine directly: a resync recompute is not a
+                    # semantic rule firing, so stats stay untouched
+                    firings = self.rule_engine.fire_rule(rule, node.db)
+                    node.view_memo[id(rule)] = {f.values for f in firings}
+            for predicate, _rows, indexes in entry["tables"]:
+                node.db.table(predicate)._indexes = {
+                    tuple(positions): {
+                        bucket_key: dict(bucket) for bucket_key, bucket in buckets
+                    }
+                    for positions, buckets in indexes
+                }
+        # the memo recomputes above may have emitted scratch index-build
+        # records; they were superseded by the restored buckets
+        self._records.clear()
+        self._sends.clear()
+        return True
+
 
 def _shard_worker_main(conn, program, node_ids, config, registry) -> None:
     """Entry point of a shard worker process: serve requests until EOF."""
@@ -202,6 +311,12 @@ def _shard_worker_main(conn, program, node_ids, config, registry) -> None:
         if method == "shutdown":
             conn.send(("ok", True))
             return
+        if method == "__delay__":
+            # fault injection (delay_pipe): stall before the next request,
+            # without a response — the coordinator's hang detector is what
+            # is being exercised
+            time.sleep(args[0])
+            continue
         try:
             result = getattr(worker, method)(*args)
         except BaseException:
@@ -215,23 +330,41 @@ class InlineShardClient:
 
     Same request surface as :class:`ProcessShardClient`, no IPC — used by
     differential tests (and empty shards) so hypothesis sweeps don't pay a
-    process spawn per example.
+    process spawn per example.  :meth:`kill`/:meth:`sever` simulate worker
+    death so the supervision/resync path can be swept cheaply; a "dead"
+    inline worker raises :class:`ShardCrash` until the coordinator
+    respawns it.
     """
 
     def __init__(self, worker: ShardWorker) -> None:
         self.worker = worker
         self._result = None
+        self._dead = False
 
     def submit(self, method: str, args: tuple) -> None:
+        if self._dead:
+            raise ShardCrash("inline shard worker was killed")
         self._result = getattr(self.worker, method)(*args)
 
     def result(self):
+        if self._dead:
+            raise ShardCrash("inline shard worker was killed")
         result, self._result = self._result, None
         return result
 
     def call(self, method: str, args: tuple = ()):
         self.submit(method, args)
         return self.result()
+
+    def kill(self) -> None:
+        self._dead = True
+
+    def sever(self) -> None:
+        self._dead = True
+
+    def delay(self, seconds: float) -> None:
+        # inline transport has no hang detector to exercise
+        pass
 
     def close(self) -> None:
         pass
@@ -243,7 +376,9 @@ class ProcessShardClient:
     The protocol is strictly one outstanding request per client
     (``submit`` → ``result``), so coordinators can submit to every shard
     and collect in a fixed order without deadlock.  Worker tracebacks are
-    re-raised here as :class:`ShardError`.
+    re-raised here as :class:`ShardError`; process death, broken pipes and
+    (when ``timeout`` is set) hangs raise :class:`ShardCrash` /
+    :class:`ShardTimeout` so the supervising coordinator can respawn.
     """
 
     def __init__(
@@ -252,6 +387,8 @@ class ProcessShardClient:
         node_ids: list[NodeId],
         config: EngineConfig,
         registry: Optional[FunctionRegistry] = None,
+        *,
+        timeout: Optional[float] = None,
     ) -> None:
         # fork is the cheap path on Linux (no pickling of the program);
         # fall back to the platform default where fork is unavailable
@@ -259,6 +396,7 @@ class ProcessShardClient:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
             context = multiprocessing.get_context()
+        self.timeout = timeout
         self._conn, child = context.Pipe()
         self._process = context.Process(
             target=_shard_worker_main,
@@ -277,18 +415,23 @@ class ProcessShardClient:
         try:
             self._conn.send((method, args))
         except (BrokenPipeError, OSError) as exc:
-            raise ShardError(f"shard worker is gone: {exc}") from exc
+            raise ShardCrash(f"shard worker is gone: {exc}") from exc
         self._pending = True
 
     def result(self):
         if not self._pending:
             raise ShardError("no shard request outstanding")
         try:
+            if self.timeout is not None and not self._conn.poll(self.timeout):
+                self._pending = False
+                raise ShardTimeout(
+                    f"shard worker unresponsive after {self.timeout}s"
+                )
             status, payload = self._conn.recv()
         except (EOFError, OSError) as exc:
-            raise ShardError(f"shard worker died mid-request: {exc}") from exc
-        finally:
             self._pending = False
+            raise ShardCrash(f"shard worker died mid-request: {exc}") from exc
+        self._pending = False
         if status == "error":
             raise ShardError(f"shard worker failed:\n{payload}")
         return payload
@@ -297,16 +440,55 @@ class ProcessShardClient:
         self.submit(method, args)
         return self.result()
 
+    # -- fault-injection handles ---------------------------------------
+    def kill(self) -> None:
+        """SIGKILL the worker process (chaos testing / hang teardown)."""
+
+        if self._process.is_alive() and self._process.pid is not None:
+            try:
+                os.kill(self._process.pid, signal.SIGKILL)
+            except ProcessLookupError:  # pragma: no cover - raced exit
+                pass
+            self._process.join(timeout=5)
+
+    def sever(self) -> None:
+        """Close the coordinator's pipe end: the next request crashes."""
+
+        self._conn.close()
+
+    def delay(self, seconds: float) -> None:
+        """Make the worker sleep before reading its next request
+        (responseless; exercises the ``timeout`` hang detector)."""
+
+        try:
+            self._conn.send(("__delay__", (seconds,)))
+        except (BrokenPipeError, OSError):  # pragma: no cover - dying worker
+            pass
+
     def close(self) -> None:
         if self._process.is_alive():
-            try:
-                self.call("shutdown")
-            except ShardError:
-                pass
-        self._conn.close()
+            if self._pending:
+                # an uncollected request is in flight (e.g. teardown after
+                # an error): drain its response briefly so the shutdown
+                # handshake is not misread, else give up on the handshake
+                try:
+                    if self._conn.poll(1.0):
+                        self._conn.recv()
+                        self._pending = False
+                except (EOFError, OSError):
+                    self._pending = False
+            if not self._pending:
+                try:
+                    self.call("shutdown")
+                except ShardError:
+                    pass
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already severed
+            pass
         self._process.join(timeout=5)
         if self._process.is_alive():  # pragma: no cover - stuck worker
-            self._process.terminate()
+            self.kill()
             self._process.join(timeout=5)
 
 
@@ -343,22 +525,166 @@ class ShardedEngine(DistributedEngine):
         #: node id → shard index (deterministic; see :mod:`repro.dn.partition`)
         self.partition_map = partition_nodes(topology, cfg.shards, cfg.partition)
         self._members = shard_members(self.partition_map, cfg.shards, topology.nodes)
-        self._clients: list[object] = []
-        for shard_nodes in self._members:
-            if cfg.shard_transport == "process" and shard_nodes:
-                client = ProcessShardClient(
-                    self.original_program, shard_nodes, cfg, self._registry_arg
-                )
-            else:
-                # inline transport, and empty shards (never addressed —
-                # not worth an OS process)
-                client = InlineShardClient(
-                    ShardWorker(
-                        self.original_program, shard_nodes, cfg, self._registry_arg
-                    )
-                )
-            self._clients.append(client)
+        self._clients: list[object] = [
+            self._spawn_client(shard) for shard in range(cfg.shards)
+        ]
+        #: respawns performed per shard (bounded by ``cfg.shard_restarts``)
+        self.shard_restarts: list[int] = [0] * cfg.shards
+        #: optional deterministic fault injector (see :meth:`inject_faults`)
+        self.fault_injector: Optional[FaultInjector] = None
         self._closed = False
+
+    def _spawn_client(self, shard: int):
+        """Build (or rebuild, after a crash) one shard's transport client."""
+
+        cfg = self.config
+        shard_nodes = self._members[shard]
+        if cfg.shard_transport == "process" and shard_nodes:
+            return ProcessShardClient(
+                self.original_program,
+                shard_nodes,
+                cfg,
+                self._registry_arg,
+                timeout=cfg.shard_timeout,
+            )
+        # inline transport, and empty shards (never addressed —
+        # not worth an OS process)
+        return InlineShardClient(
+            ShardWorker(self.original_program, shard_nodes, cfg, self._registry_arg)
+        )
+
+    def inject_faults(self, plan) -> FaultInjector:
+        """Install a deterministic fault injector for chaos testing.
+
+        ``plan`` is a :class:`~repro.dn.faults.FaultPlan` (or an existing
+        :class:`~repro.dn.faults.FaultInjector` to share with other
+        layers).  Shard-scoped probes happen once per attempted worker
+        request, with the shard index as the probe scope.
+        """
+
+        if isinstance(plan, FaultInjector):
+            injector = plan
+        elif isinstance(plan, FaultPlan):
+            injector = FaultInjector(plan)
+        else:
+            injector = FaultInjector(FaultPlan(tuple(plan)))
+        self.fault_injector = injector
+        return injector
+
+    # ------------------------------------------------------------------
+    # Supervision: fault probes, crash recovery, resync
+    # ------------------------------------------------------------------
+    def _pre_request(self, shard: int) -> None:
+        """Fault-injection probe point: one per attempted shard request."""
+
+        injector = self.fault_injector
+        if injector is None:
+            return
+        fault = injector.draw("kill_worker", shard)
+        if fault is not None:
+            self._clients[shard].kill()
+        fault = injector.draw("sever_pipe", shard)
+        if fault is not None:
+            self._clients[shard].sever()
+        fault = injector.draw("delay_pipe", shard)
+        if fault is not None:
+            self._clients[shard].delay(float(fault.arg))
+
+    def _revive(self, shard: int, exc: ShardCrash) -> None:
+        """Respawn a crashed shard worker and resync it from the replica.
+
+        The replica only advances after a request's results return, so at
+        revive time it holds exactly the pre-request state of the dead
+        worker's partition; pushing it back (rows + support counts +
+        timestamps + index buckets + marks + stats + protections, with
+        view memos recomputed worker-side) makes the respawned worker
+        bit-identical to the dead one just before the fatal request —
+        retrying the request then recomputes exactly what an undisturbed
+        worker would have produced.
+        """
+
+        self.shard_restarts[shard] += 1
+        if self.shard_restarts[shard] > self.config.shard_restarts:
+            raise NDlogError(
+                f"shard {shard} crashed {self.shard_restarts[shard]} times "
+                f"(budget: shard_restarts={self.config.shard_restarts}); "
+                f"giving up: {exc}"
+            ) from exc
+        old = self._clients[shard]
+        try:
+            old.kill()
+        except AttributeError:  # pragma: no cover - inline clients
+            pass
+        try:
+            old.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+        self._clients[shard] = self._spawn_client(shard)
+        if self._members[shard]:
+            self._clients[shard].call(
+                "load_state", (self._export_shard_state(shard),)
+            )
+
+    def _export_shard_state(self, shard: int) -> dict:
+        """The replica's structural state for one shard's partition (the
+        payload of a resync push; consumed by :meth:`ShardWorker.
+        load_state`)."""
+
+        nodes = {}
+        for node_id in self._members[shard]:
+            node = self.nodes[node_id]
+            tables = []
+            for predicate, table in node.db._tables.items():
+                rows = [
+                    (key, stored.values, stored.inserted_at, stored.expires_at,
+                     table._counts.get(key, 1))
+                    for key, stored in table._rows.items()
+                ]
+                indexes = [
+                    (positions, [
+                        (bucket_key, list(bucket.items()))
+                        for bucket_key, bucket in buckets.items()
+                    ])
+                    for positions, buckets in table._indexes.items()
+                ]
+                tables.append((predicate, rows, indexes))
+            nodes[node_id] = {
+                "stats": node.stats.as_dict(),
+                "displaced": {
+                    predicate: list(keys)
+                    for predicate, keys in node.displaced.items()
+                },
+                "tables": tables,
+            }
+        return {"nodes": nodes, "protected": sorted(self.executor._protected)}
+
+    def _submit(self, shard: int, method: str, args: tuple) -> None:
+        """Supervised fire-and-collect-later submit to one shard."""
+
+        while True:
+            self._pre_request(shard)
+            try:
+                self._clients[shard].submit(method, args)
+                return
+            except ShardCrash as exc:
+                self._revive(shard, exc)
+
+    def _call(self, shard: int, method: str, args: tuple = ()):
+        """Supervised synchronous round trip to one shard.
+
+        Crash-retrying is deterministic for every protocol method: a dead
+        worker returned nothing, so the replica was not advanced and the
+        respawned worker recomputes the request from the identical
+        pre-request state (idempotent for the maintenance verbs, and
+        byte-reproducing for the drain verbs).
+        """
+
+        while True:
+            self._pre_request(shard)
+            try:
+                return self._clients[shard].call(method, args)
+            except ShardCrash as exc:
+                self._revive(shard, exc)
 
     # ------------------------------------------------------------------
     # Effect replay
@@ -385,6 +711,27 @@ class ShardedEngine(DistributedEngine):
                 node = self.nodes[node_id]
                 if kind in ("insert", "replace"):
                     node.upsert(predicate, values, now)
+                elif kind == "support":
+                    # invisible bookkeeping (executor META_KINDS): mirrored
+                    # into the replica for crash-resync, never traced
+                    node.db.table(predicate).upsert(tuple(values), now)
+                    continue
+                elif kind == "release":
+                    node.db.release(predicate, values)
+                    continue
+                elif kind == "mark":
+                    node.displaced.setdefault(predicate, set()).add(
+                        node.db.table(predicate).key_of(tuple(values))
+                    )
+                    continue
+                elif kind == "unmark":
+                    marked = node.displaced.get(predicate)
+                    if marked is not None:
+                        marked.discard(node.db.table(predicate).key_of(tuple(values)))
+                    continue
+                elif kind == "index":
+                    node.db.table(predicate).index_on(values)
+                    continue
                 else:
                     node.delete(predicate, values)
                 self._record_change(now, node_id, predicate, values, kind)
@@ -426,10 +773,18 @@ class ShardedEngine(DistributedEngine):
             queue.clear()
             payloads.setdefault(self.partition_map[nid], []).append((nid, ops))
         for shard, items in payloads.items():
-            self._clients[shard].submit("flush_batch", (now, items))
+            self._submit(shard, "flush_batch", (now, items))
         results: dict[NodeId, tuple[list, list]] = {}
         for shard, items in payloads.items():
-            for (nid, _), result in zip(items, self._clients[shard].result()):
+            try:
+                outcome = self._clients[shard].result()
+            except ShardCrash as exc:
+                # the worker died mid-drain: nothing was replayed, so the
+                # replica is still pre-request — revive and retry the whole
+                # batch (the recomputation is byte-identical)
+                self._revive(shard, exc)
+                outcome = self._call(shard, "flush_batch", (now, items))
+            for (nid, _), result in zip(items, outcome):
                 results[nid] = result
         for nid in wave:
             records, sends = results[nid]
@@ -440,8 +795,10 @@ class ShardedEngine(DistributedEngine):
     def _apply_immediate(self, node_id: NodeId, op: Op) -> None:
         """Per-tuple mode: run the op on the owning worker, then replay."""
 
-        records, sends = self._clients[self.partition_map[node_id]].call(
-            "apply_op", (self.scheduler.now, node_id, op)
+        records, sends = self._call(
+            self.partition_map[node_id],
+            "apply_op",
+            (self.scheduler.now, node_id, op),
         )
         self._replay(records, sends)
         if self.monitors:
@@ -453,17 +810,19 @@ class ShardedEngine(DistributedEngine):
         for item in refreshed:
             by_shard.setdefault(self.partition_map[item[0]], []).append(item)
         for shard, items in by_shard.items():
-            self._clients[shard].call("refresh", (now, items))
+            self._call(shard, "refresh", (now, items))
 
     def _protect_predicate(self, predicate: str) -> None:
         if self.executor.protect(predicate):
-            for client, members in zip(self._clients, self._members):
+            for shard, members in enumerate(self._members):
                 if members:
-                    client.call("protect", (predicate,))
+                    self._call(shard, "protect", (predicate,))
 
     def _monotonic_delete(self, node_id: NodeId, predicate: str, values: tuple) -> bool:
-        deleted = self._clients[self.partition_map[node_id]].call(
-            "delete_row", (self.scheduler.now, node_id, predicate, values)
+        deleted = self._call(
+            self.partition_map[node_id],
+            "delete_row",
+            (self.scheduler.now, node_id, predicate, values),
         )
         if deleted:
             self.nodes[node_id].delete(predicate, values)
@@ -472,8 +831,10 @@ class ShardedEngine(DistributedEngine):
     def _expire_node_monotonic(self, node, now: float) -> dict[str, list[tuple]]:
         removed = node.db.expire(now)  # the replica agrees on what expires
         if removed:
-            self._clients[self.partition_map[node.id]].call(
-                "expire_monotonic", (now, node.id)
+            # retry-safe: a crash resyncs the worker from the already-
+            # expired replica, so the re-run sweep finds nothing extra
+            self._call(
+                self.partition_map[node.id], "expire_monotonic", (now, node.id)
             )
         return removed
 
@@ -497,7 +858,7 @@ class ShardedEngine(DistributedEngine):
         for shard, members in enumerate(self._members):
             if not members:
                 continue
-            for node_id, stats in self._clients[shard].call("node_stats").items():
+            for node_id, stats in self._call(shard, "node_stats").items():
                 self.nodes[node_id].stats.rule_firings = stats["rule_firings"]
 
     def validate_shards(self) -> None:
@@ -511,7 +872,7 @@ class ShardedEngine(DistributedEngine):
         for shard, members in enumerate(self._members):
             if not members:
                 continue
-            snapshots = self._clients[shard].call("snapshot")
+            snapshots = self._call(shard, "snapshot")
             for node_id, snapshot in snapshots.items():
                 theirs = {p: rows for p, rows in snapshot.items() if rows}
                 mine = {

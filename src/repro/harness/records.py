@@ -54,6 +54,11 @@ class RunRecord:
     monitors: list = field(default_factory=list)
     monitors_ok: bool = True
     wall_time: float = 0.0
+    #: ``"ok"`` or ``"crashed"`` (worker process died / raised); crashed
+    #: runs stay in the ledger for the record but are re-executed on resume
+    status: str = "ok"
+    #: the traceback / cause when ``status != "ok"``
+    error: Optional[str] = None
 
     # ------------------------------------------------------------------
     def deterministic_dict(self) -> dict:
@@ -85,11 +90,45 @@ class RunRecord:
             "monitors": self.monitors,
             "monitors_ok": self.monitors_ok,
             "wall_time": self.wall_time,
+            "status": self.status,
+            "error": self.error,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunRecord":
-        return cls(**{k: data.get(k) for k in cls.__dataclass_fields__})
+        # keys absent from the data (ledgers written before a field
+        # existed) fall back to the dataclass defaults
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__ if k in data})
+
+    @classmethod
+    def crashed(cls, run_id: str, index: int, params: dict, error: str) -> "RunRecord":
+        """The containment record for a run whose worker died or raised:
+        numeric fields zeroed, monitors empty, ``status="crashed"`` with the
+        cause — enough for the ledger to stay complete and resumable."""
+
+        return cls(
+            run_id=run_id,
+            index=index,
+            params=params,
+            seeds={},
+            quiescent=False,
+            finished_at=0.0,
+            convergence_time=0.0,
+            events=0,
+            messages=0,
+            delivered_messages=0,
+            dropped_messages=0,
+            retraction_messages=0,
+            retractions=0,
+            state_changes=0,
+            route_count=0,
+            stale_routes=None,
+            missing_routes=None,
+            monitors=[],
+            monitors_ok=False,
+            status="crashed",
+            error=error,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -224,6 +263,7 @@ def summarize(records: list[RunRecord]) -> dict:
 
     return {
         "runs": len(records),
+        "crashed": sum(1 for r in records if r.status != "ok"),
         "quiescent": sum(1 for r in records if r.quiescent),
         "violations": sum(r.violation_count for r in records),
         "active_violations": sum(r.active_violation_count for r in records),

@@ -19,8 +19,11 @@ resume re-reads the ledger, skips completed runs, and executes the rest.
 from __future__ import annotations
 
 import json
+import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional
@@ -113,10 +116,18 @@ def _stale_routes(
     return len(have - want), len(want - have)
 
 
+#: Fault-injection hook: a worker executing the named run dies without
+#: cleanup, exactly like an OOM kill — the crash-containment tests and the
+#: chaos smoke script set this to provoke ``BrokenProcessPool``.
+CRASH_RUN_ENV = "FVN_FAULT_CRASH_RUN_ID"
+
+
 def execute_run(descriptor_data: dict) -> dict:
     """Execute one run from its plain-data descriptor (worker entry point)."""
 
     descriptor = RunDescriptor.from_dict(descriptor_data)
+    if os.environ.get(CRASH_RUN_ENV) == descriptor.run_id:
+        os._exit(17)
     started = time.perf_counter()
     scenario = _materialize(descriptor)
     program = build_program(descriptor)
@@ -191,6 +202,73 @@ class CampaignResult:
 
 ProgressCallback = Callable[[RunRecord, int, int], None]
 
+#: pool breaks tolerated before the remaining runs execute one per pool,
+#: where a worker death is unambiguously attributable to the run it killed
+POOL_BREAK_LIMIT = 2
+
+
+def _run_pool(
+    todo: list[RunDescriptor],
+    workers: int,
+    finish: Callable[[dict], None],
+    crashed: Callable[[RunDescriptor, str], dict],
+) -> None:
+    """Drive ``todo`` through process pools, containing worker deaths.
+
+    An exception *raised* by a run is deterministic — it is recorded as a
+    crashed record immediately.  A worker process *dying* (``os._exit``,
+    SIGKILL, OOM) breaks the whole ``ProcessPoolExecutor``, which cannot
+    say *whose* worker died: every unfinished run is resubmitted to a
+    fresh pool.  After :data:`POOL_BREAK_LIMIT` breaks the remaining runs
+    are executed one per pool, where a break is unambiguously the
+    submitted run's own death and is contained as a crashed record — so a
+    run that reliably kills its worker costs a bounded number of respawns
+    and never takes its cohort (or the campaign) down with it.
+    """
+
+    remaining = list(todo)
+    breaks = 0
+    while remaining:
+        isolate = breaks >= POOL_BREAK_LIMIT
+        batch = remaining[:1] if isolate else remaining
+        deferred = remaining[1:] if isolate else []
+        requeue: list[RunDescriptor] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (descriptor, pool.submit(execute_run, descriptor.to_dict()))
+                for descriptor in batch
+            ]
+            for position, (descriptor, future) in enumerate(futures):
+                try:
+                    finish(future.result())
+                except BrokenProcessPool as exc:
+                    breaks += 1
+                    if isolate:
+                        finish(
+                            crashed(
+                                descriptor,
+                                f"worker process died ({type(exc).__name__}: {exc})",
+                            )
+                        )
+                    else:
+                        requeue.append(descriptor)
+                    # the pool is gone: salvage finished futures, requeue
+                    # the rest, and respawn
+                    for later, after in futures[position + 1:]:
+                        if after.done() and after.exception() is None:
+                            finish(after.result())
+                        elif after.done() and not isinstance(
+                            after.exception(), BrokenProcessPool
+                        ):
+                            finish(crashed(later, f"run raised: {after.exception()}"))
+                        else:
+                            after.cancel()
+                            requeue.append(later)
+                    break
+                except Exception:
+                    finish(crashed(descriptor, traceback.format_exc()))
+        remaining = requeue + deferred
+
 
 def run_campaign(
     spec: CampaignSpec,
@@ -202,11 +280,15 @@ def run_campaign(
 ) -> CampaignResult:
     """Execute a campaign spec, streaming records to ``out_dir``.
 
-    ``workers > 1`` fans runs out over a process pool (chunked
-    ``executor.map``, records written back in descriptor order).  With
-    ``resume`` (the default) runs already present in the ledger are skipped,
-    so re-invoking a killed campaign continues where it stopped;
-    ``resume=False`` discards previous artifacts and starts fresh.
+    ``workers > 1`` fans runs out over a process pool (per-run futures,
+    records written back in submission order).  A run whose worker *dies*
+    (OOM kill, segfault, injected crash) does not abort the campaign: the
+    pool is respawned, the victim is retried once, and a persistent death
+    is contained as a ``status="crashed"`` :class:`RunRecord` carrying the
+    cause.  With ``resume`` (the default) runs already completed in the
+    ledger are skipped — crashed records are kept for the audit trail but
+    re-executed — so re-invoking a killed campaign continues where it
+    stopped; ``resume=False`` discards previous artifacts and starts fresh.
     """
 
     out_dir = Path(out_dir)
@@ -230,7 +312,7 @@ def run_campaign(
     done = {
         run_id: record
         for run_id, record in read_ledger(ledger_path).items()
-        if expected.get(run_id) == record.params
+        if expected.get(run_id) == record.params and record.status == "ok"
     }
     todo = [d for d in descriptors if d.run_id not in done]
     resumed = len(descriptors) - len(todo)
@@ -246,20 +328,23 @@ def run_campaign(
         if progress is not None:
             progress(record, completed, len(descriptors))
 
+    def crashed(descriptor: RunDescriptor, error: str) -> dict:
+        return RunRecord.crashed(
+            descriptor.run_id,
+            descriptor.index,
+            json.loads(json.dumps(descriptor.to_dict())),
+            error,
+        ).to_dict()
+
     if todo:
         if workers <= 1:
             for descriptor in todo:
-                finish(execute_run(descriptor.to_dict()))
+                try:
+                    finish(execute_run(descriptor.to_dict()))
+                except Exception:
+                    finish(crashed(descriptor, traceback.format_exc()))
         else:
-            # chunking amortizes pickling/IPC without starving the pool
-            chunksize = max(1, len(todo) // (workers * 4))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for record_data in pool.map(
-                    execute_run,
-                    [descriptor.to_dict() for descriptor in todo],
-                    chunksize=chunksize,
-                ):
-                    finish(record_data)
+            _run_pool(todo, workers, finish, crashed)
 
     records = [done[descriptor.run_id] for descriptor in descriptors]
     wall_time = time.perf_counter() - started

@@ -106,6 +106,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=50,
         help="snapshot cadence in applied updates (0 disables)",
     )
+    serve.add_argument(
+        "--dedup-cache",
+        type=int,
+        default=1024,
+        help="request-key acks remembered for exactly-once retry dedup",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        help="JSON fault-plan file injected for chaos testing (docs/FAULTS.md)",
+    )
 
     for name, verbs in (("update", UPDATE_VERBS), ("query", QUERY_VERBS)):
         client_parser = sub.add_parser(
@@ -122,6 +133,18 @@ def _build_parser() -> argparse.ArgumentParser:
         client_parser.add_argument(
             "--timeout", type=float, default=30.0, help="socket timeout seconds"
         )
+        client_parser.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            help="reconnect-and-retry attempts for safe requests",
+        )
+        if name == "update":
+            client_parser.add_argument(
+                "--key",
+                default=None,
+                help="request key for exactly-once retry dedup (docs/FAULTS.md)",
+            )
         client_parser.add_argument("--src", default=None, help="source node")
         client_parser.add_argument("--dst", default=None, help="destination node")
         client_parser.add_argument(
@@ -178,6 +201,8 @@ def _serve(args: argparse.Namespace) -> int:
         sim_step=args.sim_step,
         settle_max_events=args.settle_max_events,
         snapshot_every=args.snapshot_every,
+        dedup_cache=args.dedup_cache,
+        fault_plan=args.fault_plan,
     )
     if args.monitors is not None:
         config.monitors = tuple(
@@ -223,8 +248,16 @@ def _send(args: argparse.Namespace) -> int:
         info = read_server_info(args.state_dir)
         host = host if host is not None else info["host"]
         port = port if port is not None else info["port"]
-    with ServingClient(host, port, timeout=args.timeout) as client:
-        result = client.call(args.verb, _client_args(args))
+    request_key = getattr(args, "key", None)
+    with ServingClient(host, port, timeout=args.timeout, retries=args.retries) as client:
+        if args.verb in UPDATE_VERBS:
+            # client.update auto-keys when retrying, so `update --retries N`
+            # without an explicit --key is still exactly-once
+            result = client.update(
+                args.verb, request_key=request_key, **_client_args(args)
+            )
+        else:
+            result = client.call(args.verb, _client_args(args))
     print(json.dumps(result, sort_keys=True, indent=2))
     return 0
 

@@ -64,11 +64,17 @@ class ServerConfig:
     #: Take a fingerprint-stamped snapshot every N applied updates
     #: (0 disables; ignored when ``shards > 1`` or ``state_dir`` is None).
     snapshot_every: int = 50
+    #: Most recent request-key acks remembered for exactly-once retry
+    #: dedup (see ``docs/FAULTS.md``); older keys fall out LRU-style.
+    dedup_cache: int = 1024
+    #: Path to a JSON :class:`~repro.dn.faults.FaultPlan` injected into the
+    #: daemon for chaos testing (``None`` disables fault injection).
+    fault_plan: Optional[str] = None
 
     # ------------------------------------------------------------------
     #: fields an operator may change across restarts without invalidating
     #: the persisted ledger/snapshot state
-    RESTART_SAFE = ("host", "port", "state_dir")
+    RESTART_SAFE = ("host", "port", "state_dir", "dedup_cache", "fault_plan")
 
     def to_dict(self) -> dict:
         out = asdict(self)

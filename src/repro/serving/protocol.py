@@ -10,11 +10,18 @@ and the matching response either
     {"id": 7, "ok": false, "error": "..."}
 
 ``id`` is an opaque client token echoed back verbatim (optional — it
-defaults to null).  Verbs split into **updates** (mutate the engine, are
-ledgered, settle before acknowledging) and **queries** (read-only, answered
-at the current settled state).  Every verb's request/response shape is
-documented with examples in ``docs/SERVING.md``; ``scripts/check_docs.py``
-fails the build when a verb listed here is missing from that document.
+defaults to null).  Update requests may additionally carry a string
+``"key"`` — a client-chosen **request key** that makes the update
+idempotent: the service remembers the ack produced for each key (in
+memory, rebuilt from the ledger on recovery), so a client that lost an ack
+to a connection failure can resend the same request and receive the
+*original* ``{seq, settled, ...}`` back instead of applying the update
+twice (``docs/FAULTS.md`` documents the exactly-once contract).  Verbs
+split into **updates** (mutate the engine, are ledgered, settle before
+acknowledging) and **queries** (read-only, answered at the current settled
+state).  Every verb's request/response shape is documented with examples
+in ``docs/SERVING.md``; ``scripts/check_docs.py`` fails the build when a
+verb listed here is missing from that document.
 """
 
 from __future__ import annotations
@@ -94,8 +101,8 @@ def decode_line(line: bytes) -> dict:
     return message
 
 
-def parse_request(line: bytes) -> tuple[object, str, dict]:
-    """Validate one request line → ``(id, verb, args)``."""
+def parse_request(line: bytes) -> tuple[object, str, dict, object]:
+    """Validate one request line → ``(id, verb, args, request_key)``."""
 
     message = decode_line(line)
     request_id = message.get("id")
@@ -107,7 +114,14 @@ def parse_request(line: bytes) -> tuple[object, str, dict]:
     args = message.get("args", {})
     if not isinstance(args, dict):
         raise ProtocolError("request args must be a JSON object", request_id)
-    return request_id, verb, args
+    request_key = message.get("key")
+    if request_key is not None and not isinstance(request_key, str):
+        raise ProtocolError("request key must be a string", request_id)
+    if request_key is not None and verb not in UPDATE_VERBS:
+        raise ProtocolError(
+            "request keys only apply to update verbs", request_id
+        )
+    return request_id, verb, args, request_key
 
 
 def ok_response(request_id: object, result) -> bytes:

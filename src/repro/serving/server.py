@@ -22,6 +22,7 @@ import json
 import os
 from pathlib import Path
 
+from ..dn.faults import SERVING_SCOPE
 from .config import ServerConfig
 from .protocol import (
     QUERY_VERBS,
@@ -96,11 +97,22 @@ class RouteServer:
                     break
                 if not line:
                     break
+                fault = self._reset_probe()
+                if fault is not None and fault.arg == "recv":
+                    # drop the request before it is dispatched: the client
+                    # sees a reset, the service never applied anything
+                    writer.transport.abort()
+                    break
                 response, stop = self._dispatch(line)
+                if fault is not None:
+                    # the lost-ack case: the update applied (and, if keyed,
+                    # its ack is remembered) but the client never hears back
+                    writer.transport.abort()
+                    break
                 writer.write(response)
                 try:
                     await writer.drain()
-                except ConnectionResetError:
+                except (ConnectionResetError, BrokenPipeError):
                     break
                 if stop:
                     self.stop()
@@ -109,8 +121,16 @@ class RouteServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
+
+    def _reset_probe(self):
+        """One ``reset_connection`` fault-injection probe per request."""
+
+        injector = self.service.fault_injector
+        if injector is None:
+            return None
+        return injector.draw("reset_connection", SERVING_SCOPE)
 
     def _dispatch(self, line: bytes) -> tuple[bytes, bool]:
         """Process one request line synchronously (no awaits → requests
@@ -118,12 +138,13 @@ class RouteServer:
 
         request_id = None
         try:
-            request_id, verb, args = parse_request(line)
+            request_id, verb, args, request_key = parse_request(line)
             if verb == "stop":
                 return ok_response(request_id, {"stopping": True}), True
             if verb in UPDATE_VERBS:
                 self.requests["updates"] += 1
-                return ok_response(request_id, self.service.apply_update(verb, args)), False
+                ack = self.service.apply_update(verb, args, request_key=request_key)
+                return ok_response(request_id, ack), False
             assert verb in QUERY_VERBS
             self.requests["queries"] += 1
             return ok_response(request_id, self.service.query(verb, args)), False

@@ -33,12 +33,14 @@ from __future__ import annotations
 import json
 import os
 import pickle
+from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
 from typing import Optional
 
 from ..bgp.generator import policy_path_vector_program
 from ..dn.engine import DistributedEngine, EngineConfig, create_engine
+from ..dn.faults import SERVING_SCOPE, load_injector
 from ..dn.events import Event
 from ..fvn.monitors import build_monitor, schema_for_program
 from ..harness.records import append_jsonl, canonical_json, read_jsonl
@@ -102,11 +104,18 @@ class RouteService:
         #: every accepted ``(verb, args)`` since boot — the replay source
         #: for ``what_if`` forks
         self.history: list[tuple[str, dict]] = []
+        #: request key → the ack it produced, for exactly-once retry dedup
+        #: (LRU-bounded by ``config.dedup_cache``; rebuilt from the ledger
+        #: on recovery, so dedup survives a daemon crash)
+        self._acks: OrderedDict[str, dict] = OrderedDict()
         #: did the last settle reach a fixpoint within the event budget?
         self.settled = True
         #: how this process reached its current state: ``"boot"``,
         #: ``"replay"``, or ``"snapshot+replay"``
         self.recovered_from = "boot"
+        #: chaos-testing injector shared with the sharded engine and the
+        #: socket front end (None when ``config.fault_plan`` is unset)
+        self.fault_injector = load_injector(config.fault_plan)
         self.engine: Optional[DistributedEngine] = None
         self._boot()
 
@@ -150,14 +159,17 @@ class RouteService:
             self._fresh_engine()
             if updates:
                 self.recovered_from = "replay"
+            # dedup acks for the replayed prefix are captured below
         else:
             self.seq = restored_seq
-            self.history = [(verb, args) for verb, args in updates[:restored_seq]]
+            self.history = [(verb, args) for verb, args, _key in updates[:restored_seq]]
             self.recovered_from = "snapshot+replay"
-        for verb, args in updates[self.seq:]:
-            self._apply(verb, args)
+        for verb, args, key in updates[self.seq:]:
+            ack = self._apply(verb, args)
+            if key is not None:
+                self._remember_ack(key, ack)
 
-    def _read_ledger(self) -> list[tuple[str, dict]]:
+    def _read_ledger(self) -> list[tuple[str, dict, Optional[str]]]:
         if not self.ledger_path:
             return []
         records = [
@@ -166,10 +178,17 @@ class RouteService:
             if isinstance(record.get("seq"), int) and record.get("verb") in UPDATE_VERBS
         ]
         records.sort(key=lambda record: record["seq"])
-        out: list[tuple[str, dict]] = []
+        out: list[tuple[str, dict, Optional[str]]] = []
         for record in records:
             if record["seq"] == len(out) + 1:  # drop duplicates / gaps
-                out.append((record["verb"], record.get("args", {})))
+                key = record.get("key")
+                out.append(
+                    (
+                        record["verb"],
+                        record.get("args", {}),
+                        key if isinstance(key, str) else None,
+                    )
+                )
         return out
 
     def _fresh_engine(self) -> None:
@@ -183,6 +202,8 @@ class RouteService:
         self.engine = create_engine(
             self.program, scenario.topology, config=self._engine_config()
         )
+        if self.fault_injector is not None and hasattr(self.engine, "inject_faults"):
+            self.engine.inject_faults(self.fault_injector)
         self._attach_monitors()
         self.engine.seed_facts(scenario.policy_fact_list())
         self._settle()
@@ -225,6 +246,7 @@ class RouteService:
         if engine.trace.fingerprint() != snapshot["fingerprint"]:
             self.engine = None  # stamp mismatch: distrust it, full replay
             return None
+        self._acks = OrderedDict(snapshot.get("acks", []))
         return snapshot["seq"]
 
     def _write_snapshot(self) -> None:
@@ -237,10 +259,19 @@ class RouteService:
             "fingerprint": self.engine.trace.fingerprint(),
             "config": self.config.to_dict(),
             "engine": capture,
+            "acks": list(self._acks.items()),
         }
+        payload = pickle.dumps(snapshot)
+        if self.fault_injector is not None:
+            fault = self.fault_injector.draw("tear_snapshot", SERVING_SCOPE)
+            if fault is not None:
+                # tear the write: leave a truncated file at the final path,
+                # exactly what a crash between write and fsync can produce
+                self.snapshot_path.write_bytes(payload[: max(1, len(payload) // 2)])
+                return
         tmp_path = self.snapshot_path.with_suffix(".tmp")
         with tmp_path.open("wb") as handle:
-            pickle.dump(snapshot, handle)
+            handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, self.snapshot_path)
@@ -291,16 +322,32 @@ class RouteService:
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
-    def apply_update(self, verb: str, args: dict) -> dict:
-        """Validate, ledger (write-ahead), apply, and settle one update."""
+    def apply_update(
+        self, verb: str, args: dict, *, request_key: Optional[str] = None
+    ) -> dict:
+        """Validate, ledger (write-ahead), apply, and settle one update.
 
+        A repeated ``request_key`` is a client retry after a lost ack: the
+        update is **not** applied again, the remembered original ack comes
+        back (marked ``deduplicated``) — the exactly-once contract of
+        ``docs/FAULTS.md``.
+        """
+
+        if request_key is not None and request_key in self._acks:
+            self._acks.move_to_end(request_key)
+            ack = dict(self._acks[request_key])
+            ack["deduplicated"] = True
+            return ack
         args = canonical(args)
         self._validate_update(verb, args)
         if self.ledger_path:
-            append_jsonl(
-                self.ledger_path, {"seq": self.seq + 1, "verb": verb, "args": args}
-            )
+            record = {"seq": self.seq + 1, "verb": verb, "args": args}
+            if request_key is not None:
+                record["key"] = request_key
+            append_jsonl(self.ledger_path, record)
         ack = self._apply(verb, args)
+        if request_key is not None:
+            self._remember_ack(request_key, ack)
         if (
             self.state_dir
             and self.config.snapshot_every
@@ -308,6 +355,12 @@ class RouteService:
         ):
             self._write_snapshot()
         return ack
+
+    def _remember_ack(self, request_key: str, ack: dict) -> None:
+        self._acks[request_key] = dict(ack)
+        self._acks.move_to_end(request_key)
+        while len(self._acks) > max(1, self.config.dedup_cache):
+            self._acks.popitem(last=False)
 
     def _node(self, args: dict, key: str):
         """A node id from JSON args — tuple node ids (the grid family's
@@ -479,7 +532,7 @@ class RouteService:
         if not isinstance(updates, list) or not isinstance(question, dict):
             raise ProtocolError("what_if needs 'updates' (list) and 'query' (object)")
         fork_config = replace(
-            self.config, state_dir=None, shards=1, snapshot_every=0
+            self.config, state_dir=None, shards=1, snapshot_every=0, fault_plan=None
         )
         fork = RouteService(fork_config)
         try:

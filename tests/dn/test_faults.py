@@ -1,0 +1,111 @@
+"""The seeded fault-injection layer: plan determinism, probe counting,
+wildcard scopes, and JSON round-trips."""
+
+import pytest
+
+from repro.dn.faults import (
+    ANY_SCOPE,
+    FAULT_KINDS,
+    Fault,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    load_injector,
+)
+
+
+class TestFault:
+    def test_validation_rejects_unknown_kind(self):
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            Fault(kind="meteor_strike")
+
+    def test_validation_rejects_bad_ordinal(self):
+        with pytest.raises(FaultError, match="positive int"):
+            Fault(kind="kill_worker", at=0)
+
+    def test_delay_needs_numeric_arg(self):
+        with pytest.raises(FaultError, match="numeric"):
+            Fault(kind="delay_pipe")
+        Fault(kind="delay_pipe", arg=0.5)  # fine
+
+    def test_reset_phase_validated(self):
+        with pytest.raises(FaultError, match="'recv' or 'ack'"):
+            Fault(kind="reset_connection", arg="midflight")
+        Fault(kind="reset_connection", arg="ack")  # fine
+
+    def test_dict_round_trip(self):
+        fault = Fault(kind="delay_pipe", scope=2, at=7, arg=1.5)
+        assert Fault.from_dict(fault.to_dict()) == fault
+
+
+class TestFaultPlan:
+    def test_generate_is_deterministic(self):
+        a = FaultPlan.generate(42, kinds=FAULT_KINDS, scopes=(0, 1, ANY_SCOPE))
+        b = FaultPlan.generate(42, kinds=FAULT_KINDS, scopes=(0, 1, ANY_SCOPE))
+        assert a == b
+        assert a != FaultPlan.generate(43, kinds=FAULT_KINDS, scopes=(0, 1, ANY_SCOPE))
+
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan.generate(7, kinds=("kill_worker", "reset_connection"))
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("not json{")
+        with pytest.raises(FaultError, match="cannot load"):
+            FaultPlan.load(path)
+
+
+class TestFaultInjector:
+    def test_exact_scope_counts_per_scope(self):
+        plan = FaultPlan((Fault(kind="kill_worker", scope=1, at=2),))
+        injector = FaultInjector(plan)
+        assert injector.draw("kill_worker", 0) is None
+        assert injector.draw("kill_worker", 1) is None  # scope 1's 1st probe
+        assert injector.draw("kill_worker", 0) is None
+        fired = injector.draw("kill_worker", 1)  # scope 1's 2nd probe
+        assert fired is plan.faults[0]
+
+    def test_wildcard_scope_counts_globally(self):
+        plan = FaultPlan((Fault(kind="kill_worker", scope=ANY_SCOPE, at=3),))
+        injector = FaultInjector(plan)
+        assert injector.draw("kill_worker", 0) is None
+        assert injector.draw("kill_worker", 1) is None
+        assert injector.draw("kill_worker", 2) is not None
+
+    def test_each_fault_fires_once(self):
+        plan = FaultPlan((Fault(kind="sever_pipe", scope=ANY_SCOPE, at=1),))
+        injector = FaultInjector(plan)
+        assert injector.draw("sever_pipe", 0) is not None
+        for probe in range(5):
+            assert injector.draw("sever_pipe", probe) is None
+        assert injector.pending() == []
+
+    def test_kinds_count_independently(self):
+        plan = FaultPlan((Fault(kind="sever_pipe", scope=ANY_SCOPE, at=1),))
+        injector = FaultInjector(plan)
+        assert injector.draw("kill_worker", 0) is None  # other kind: no fire
+        assert injector.draw("sever_pipe", 0) is not None
+
+    def test_events_record_probe_sites(self):
+        plan = FaultPlan(
+            (
+                Fault(kind="kill_worker", scope=0, at=1),
+                Fault(kind="kill_worker", scope=1, at=1),
+            )
+        )
+        injector = FaultInjector(plan)
+        injector.draw("kill_worker", 0)
+        injector.draw("kill_worker", 1)
+        scopes = [event["probe"]["scope"] for event in injector.fired()]
+        assert scopes == [0, 1]
+
+    def test_load_injector_accepts_plan_path_none(self, tmp_path):
+        assert load_injector(None) is None
+        plan = FaultPlan((Fault(kind="kill_worker"),))
+        assert load_injector(plan).plan == plan
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert load_injector(path).plan == plan

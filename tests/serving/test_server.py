@@ -40,7 +40,7 @@ def running_server(tmp_path):
         try:
             with ServingClient(server.host, server.port) as client:
                 client.stop()
-        except OSError:
+        except (OSError, ServingError):
             pass
         thread.join(10)
 
@@ -106,5 +106,5 @@ class TestServer:
             assert client.stop()["stopping"] is True
         deadline = threading.Event()
         deadline.wait(0.5)  # give the loop a beat to tear down
-        with pytest.raises(OSError):
+        with pytest.raises(ServingError, match="cannot connect"):
             ServingClient(running_server.host, running_server.port, timeout=2)
