@@ -25,6 +25,12 @@ Two checks:
    ``repro/dn/faults.py`` (``FAULT_KINDS``) must be documented in
    ``docs/FAULTS.md``, so new chaos faults cannot land undocumented.
 
+5. **Diagnostic-code coverage** — every ``NDL###`` code the static
+   analyzer can emit (the ``CODES`` dict in
+   ``repro/ndlog/analysis/diagnostics.py``) must be documented in
+   ``docs/ANALYSIS.md``, so ``fvn-lint`` cannot grow undocumented
+   diagnostics.
+
 Exit status 0 = all good; 1 = violations (listed on stdout).
 
 Usage::
@@ -136,6 +142,24 @@ def string_tuples(module_path: pathlib.Path, names: tuple[str, ...]) -> list[str
     return values
 
 
+def diagnostic_codes(module_path: pathlib.Path) -> list[str]:
+    """The analyzer's diagnostic codes: keys of the ``CODES`` dict literal."""
+
+    tree = ast.parse(module_path.read_text(), filename=str(module_path))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and any(isinstance(t, ast.Name) and t.id == "CODES" for t in node.targets)
+            and isinstance(node.value, ast.Dict)
+        ):
+            return [
+                key.value
+                for key in node.value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ]
+    raise SystemExit(f"no CODES dict literal found in {module_path}")
+
+
 def wire_verbs(module_path: pathlib.Path) -> list[str]:
     """The serving verbs: string tuples ``UPDATE_VERBS`` + ``QUERY_VERBS``."""
 
@@ -201,12 +225,29 @@ def main() -> int:
                 print(f"UNDOCUMENTED FAULT KIND: {kind} not mentioned in docs/FAULTS.md")
                 failures += 1
 
+    analysis_md_path = root / "docs" / "ANALYSIS.md"
+    if not analysis_md_path.exists():
+        print(f"MISSING FILE: {analysis_md_path}")
+        failures += 1
+    else:
+        analysis_md = analysis_md_path.read_text()
+        diagnostics_py = (
+            root / "src" / "repro" / "ndlog" / "analysis" / "diagnostics.py"
+        )
+        for code in diagnostic_codes(diagnostics_py):
+            if f"`{code}`" not in analysis_md:
+                print(
+                    f"UNDOCUMENTED DIAGNOSTIC: {code} not mentioned in "
+                    "docs/ANALYSIS.md"
+                )
+                failures += 1
+
     if failures:
         print(f"\n{failures} documentation violation(s)")
         return 1
     print(
         "docs check: all modules documented, all config fields, serving "
-        "flags, wire verbs, and fault kinds covered"
+        "flags, wire verbs, fault kinds, and diagnostic codes covered"
     )
     return 0
 

@@ -65,6 +65,7 @@ recovery, cost changes) plus soft-state expiry and periodic refresh.
 from __future__ import annotations
 
 import random
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Optional, Protocol
@@ -169,6 +170,23 @@ class DistributedEngine:
     ) -> None:
         program.check()
         self.original_program = program
+        if config is not None and not config.retract_derivations:
+            # retraction-free evaluation is only sound for monotonic
+            # programs — diagnostic NDL401 (docs/ANALYSIS.md)
+            from ..ndlog.analysis.monotonic import (
+                UnsoundConfigWarning,
+                non_monotonic_predicates,
+            )
+
+            unsound = non_monotonic_predicates(program)
+            if unsound:
+                warnings.warn(
+                    f"retract_derivations=False with non-monotonic predicates "
+                    f"{unsound} in program {program.name!r}: deletions will "
+                    "not propagate (NDL401)",
+                    UnsoundConfigWarning,
+                    stacklevel=2,
+                )
         localization = localize_program(program)
         self.program = localization.program
         self.localization = localization

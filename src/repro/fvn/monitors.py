@@ -593,6 +593,58 @@ def monitors_from_properties(
     return [build_monitor(kind, schema) for kind in kinds]
 
 
+#: Classification labels for campaign monitors (``docs/ANALYSIS.md``).
+STATICALLY_PROVEN = "statically_proven"
+RUNTIME_MONITORED = "runtime_monitored"
+
+
+def clean_report(kind: str) -> dict:
+    """The report a monitor of ``kind`` produces after a violation-free run.
+
+    Statically-proven monitors are skipped at runtime and recorded with
+    exactly this report, so a campaign's ``results.jsonl`` is byte-identical
+    whether a clean invariant was checked dynamically or discharged ahead
+    of time (monitors are passive observers — detaching one never changes
+    the execution itself).
+    """
+
+    if kind not in MONITOR_KINDS:
+        raise ValueError(
+            f"unknown monitor kind {kind!r}; expected one of {MONITOR_KINDS}"
+        )
+    return {
+        "monitor": kind,
+        "first_violation_time": None,
+        "violations": 0,
+        "active_at_end": 0,
+        "examples": [],
+    }
+
+
+def classify_monitors(
+    program: Program,
+    kinds: Iterable[str],
+    *,
+    policy: Optional[str] = None,
+) -> dict[str, str]:
+    """``kind -> "statically_proven" | "runtime_monitored"`` for a campaign.
+
+    Runs the static obligation discharge (:mod:`repro.ndlog.analysis.
+    discharge`, imported lazily — it pulls in the prover and metarouting
+    layers) and marks a monitor proven only when every property backing it
+    proved and the policy's routing algebra discharged all obligations.
+    """
+
+    from ..ndlog.analysis.discharge import discharge_program
+
+    report = discharge_program(program, policy=policy)
+    proven = set(report.proven_monitors)
+    return {
+        kind: (STATICALLY_PROVEN if kind in proven else RUNTIME_MONITORED)
+        for kind in kinds
+    }
+
+
 def posthoc_violations(
     engine: "DistributedEngine",
     kinds: Iterable[str] = MONITOR_KINDS,

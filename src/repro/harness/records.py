@@ -53,6 +53,11 @@ class RunRecord:
     missing_routes: Optional[int]
     monitors: list = field(default_factory=list)
     monitors_ok: bool = True
+    #: static-discharge provenance (proof scripts, algebra obligations)
+    #: when the campaign ran with ``static_proofs``; ledger-only — popped
+    #: from :meth:`deterministic_dict` so ``results.jsonl`` stays
+    #: byte-identical to a fully runtime-monitored campaign
+    static_proofs: Optional[dict] = None
     wall_time: float = 0.0
     #: ``"ok"`` or ``"crashed"`` (worker process died / raised); crashed
     #: runs stay in the ledger for the record but are re-executed on resume
@@ -66,6 +71,7 @@ class RunRecord:
 
         out = self.to_dict()
         out.pop("wall_time", None)
+        out.pop("static_proofs", None)
         return out
 
     def to_dict(self) -> dict:
@@ -89,6 +95,7 @@ class RunRecord:
             "missing_routes": self.missing_routes,
             "monitors": self.monitors,
             "monitors_ok": self.monitors_ok,
+            "static_proofs": self.static_proofs,
             "wall_time": self.wall_time,
             "status": self.status,
             "error": self.error,

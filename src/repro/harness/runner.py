@@ -30,7 +30,12 @@ from typing import Callable, Optional
 
 from ..bgp.generator import policy_path_vector_program
 from ..dn.engine import DistributedEngine, EngineConfig, create_engine
-from ..fvn.monitors import MonitorSchema, build_monitor, schema_for_program
+from ..fvn.monitors import (
+    MonitorSchema,
+    build_monitor,
+    clean_report,
+    schema_for_program,
+)
 from ..ndlog.ast import MaterializeDecl, Program
 from ..protocols.pathvector import path_vector_program
 from ..scenarios.generator import Scenario, generate_scenario
@@ -122,8 +127,24 @@ def _stale_routes(
 CRASH_RUN_ENV = "FVN_FAULT_CRASH_RUN_ID"
 
 
-def execute_run(descriptor_data: dict) -> dict:
-    """Execute one run from its plain-data descriptor (worker entry point)."""
+def execute_run(descriptor_data: dict, static_proofs: bool = False) -> dict:
+    """Execute one run from its plain-data descriptor (worker entry point).
+
+    With ``static_proofs`` the monitor properties are discharged ahead of
+    execution (:mod:`repro.ndlog.analysis.discharge`, cached per program ×
+    policy, so a pool worker proves once for its whole chunk): proven
+    monitor kinds are not attached at all — they are recorded with the
+    clean report a violation-free dynamic check would produce, and the
+    proof scripts land in the record's ledger-only ``static_proofs`` field.
+
+    Proofs are discharged over fixpoint semantics, so skipping only applies
+    to **monotone** runs (no churn, no loss): there every intermediate state
+    is a prefix of the proved fixpoint.  Runs with deletions keep all their
+    runtime monitors — reconvergence windows can transiently violate an
+    invariant that provably holds at every settled state, and those
+    transient flags must not be lost.  Either way the record is
+    byte-identical to a fully runtime-monitored run of the same descriptor.
+    """
 
     descriptor = RunDescriptor.from_dict(descriptor_data)
     if os.environ.get(CRASH_RUN_ENV) == descriptor.run_id:
@@ -132,14 +153,29 @@ def execute_run(descriptor_data: dict) -> dict:
     scenario = _materialize(descriptor)
     program = build_program(descriptor)
     schema = schema_for_program(program)
+    proven: set[str] = set()
+    provenance: Optional[dict] = None
+    if static_proofs:
+        from ..ndlog.analysis.discharge import discharge_program
+
+        discharge = discharge_program(program, policy=descriptor.policy)
+        monotone = descriptor.churn_events == 0 and descriptor.loss == 0.0
+        if monotone:
+            proven = set(discharge.proven_monitors) & set(descriptor.monitors)
+        provenance = discharge.to_dict()
+        provenance["skipped_monitors"] = sorted(proven)
     # honors ``engine = [{shards = N}]`` / ``shards = [...]`` overrides:
     # shards > 1 builds the process-sharded coordinator, whose results are
     # byte-identical to the single-process engine for the same descriptor
     engine = create_engine(
         program, scenario.topology, config=descriptor.engine_config()
     )
-    monitors = [build_monitor(kind, schema) for kind in descriptor.monitors]
-    for monitor in monitors:
+    monitors = {
+        kind: build_monitor(kind, schema)
+        for kind in descriptor.monitors
+        if kind not in proven
+    }
+    for monitor in monitors.values():
         engine.attach_monitor(monitor)
     if scenario.churn is not None:
         scenario.churn.apply_to_engine(engine)
@@ -154,6 +190,12 @@ def execute_run(descriptor_data: dict) -> dict:
     stale = missing = None
     if descriptor.record_stale_routes:
         stale, missing = _stale_routes(engine, descriptor, scenario, schema)
+    # reports interleave in descriptor.monitors order: a proven kind gets
+    # the clean report a violation-free dynamic check would have produced
+    reports = [
+        clean_report(kind) if kind in proven else monitors[kind].report()
+        for kind in descriptor.monitors
+    ]
     record = RunRecord(
         run_id=descriptor.run_id,
         index=descriptor.index,
@@ -172,8 +214,9 @@ def execute_run(descriptor_data: dict) -> dict:
         route_count=len(engine.rows(schema.best_predicate)),
         stale_routes=stale,
         missing_routes=missing,
-        monitors=[monitor.report() for monitor in monitors],
-        monitors_ok=all(monitor.ok for monitor in monitors),
+        monitors=reports,
+        monitors_ok=all(monitor.ok for monitor in monitors.values()),
+        static_proofs=provenance,
         wall_time=round(time.perf_counter() - started, 6),
     )
     return record.to_dict()
@@ -212,6 +255,7 @@ def _run_pool(
     workers: int,
     finish: Callable[[dict], None],
     crashed: Callable[[RunDescriptor, str], dict],
+    static_proofs: bool = False,
 ) -> None:
     """Drive ``todo`` through process pools, containing worker deaths.
 
@@ -235,7 +279,12 @@ def _run_pool(
         requeue: list[RunDescriptor] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                (descriptor, pool.submit(execute_run, descriptor.to_dict()))
+                (
+                    descriptor,
+                    pool.submit(execute_run, descriptor.to_dict(), True)
+                    if static_proofs
+                    else pool.submit(execute_run, descriptor.to_dict()),
+                )
                 for descriptor in batch
             ]
             for position, (descriptor, future) in enumerate(futures):
@@ -340,11 +389,16 @@ def run_campaign(
         if workers <= 1:
             for descriptor in todo:
                 try:
-                    finish(execute_run(descriptor.to_dict()))
+                    # legacy call shape when proofs are off (tests and
+                    # tooling wrap execute_run with a one-argument stub)
+                    if spec.static_proofs:
+                        finish(execute_run(descriptor.to_dict(), True))
+                    else:
+                        finish(execute_run(descriptor.to_dict()))
                 except Exception:
                     finish(crashed(descriptor, traceback.format_exc()))
         else:
-            _run_pool(todo, workers, finish, crashed)
+            _run_pool(todo, workers, finish, crashed, spec.static_proofs)
 
     records = [done[descriptor.run_id] for descriptor in descriptors]
     wall_time = time.perf_counter() - started

@@ -136,6 +136,11 @@ class CampaignSpec:
     refresh_interval: Optional[float] = None
     monitors: tuple[str, ...] = MONITOR_KINDS
     record_stale_routes: bool = True
+    #: attempt static proofs of monitor properties before running (see
+    #: ``docs/ANALYSIS.md``): monitors whose properties are proved — and
+    #: whose policy algebra discharges its obligations — are skipped at
+    #: runtime and recorded as clean, with proof provenance in the ledger
+    static_proofs: bool = False
 
     def __post_init__(self) -> None:
         self.families = tuple(self.families)
@@ -150,6 +155,7 @@ class CampaignSpec:
         self.shards = tuple(int(s) for s in self.shards) or (1,)
         self.soft_state = {str(k): float(v) for k, v in dict(self.soft_state).items()}
         self.monitors = tuple(self.monitors)
+        self.static_proofs = bool(self.static_proofs)
         self.validate()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,83 @@
+"""Static analysis for NDlog programs (``fvn-lint``).
+
+:func:`analyze_program` runs every pass over a :class:`repro.ndlog.ast.
+Program` and returns an :class:`AnalysisReport` of coded diagnostics (see
+``docs/ANALYSIS.md`` for the catalogue):
+
+* safety / range restriction (NDL0xx),
+* schema & type inference (NDL1xx),
+* stratification (NDL2xx),
+* location-specifier well-formedness (NDL3xx),
+* monotonicity classification (NDL4xx).
+
+Static *obligation discharge* — proving campaign monitor properties ahead
+of time with the tactic prover — lives in :mod:`.discharge` and is imported
+explicitly by its users (it pulls in the harness-facing layers; the passes
+here stay dependency-light so the engines can call them at boot).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ast import Program
+from .diagnostics import (
+    CODES,
+    ERROR,
+    WARNING,
+    WARNING_CODES,
+    AnalysisReport,
+    Diagnostic,
+    severity_of,
+)
+from .locspec import check_locations
+from .monotonic import (
+    UnsoundConfigWarning,
+    check_monotonicity,
+    classify_monotonicity,
+    non_monotonic_predicates,
+)
+from .safety import check_safety
+from .schema import check_schema
+from .strat import check_stratification
+
+__all__ = [
+    "CODES",
+    "ERROR",
+    "WARNING",
+    "WARNING_CODES",
+    "AnalysisReport",
+    "Diagnostic",
+    "UnsoundConfigWarning",
+    "analyze_program",
+    "check_locations",
+    "check_monotonicity",
+    "check_safety",
+    "check_schema",
+    "check_stratification",
+    "classify_monotonicity",
+    "non_monotonic_predicates",
+    "severity_of",
+]
+
+
+def analyze_program(
+    program: Program, *, retract_derivations: Optional[bool] = None
+) -> AnalysisReport:
+    """Run all static passes over ``program``.
+
+    ``retract_derivations`` describes the engine configuration the program
+    is destined for: pass ``False`` to get NDL401 warnings for
+    non-monotonic predicates that would be evaluated without retraction
+    (``None``/``True`` suppresses them — retraction is the sound default).
+    """
+
+    report = AnalysisReport(program=program.name)
+    report.extend(check_safety(program))
+    report.extend(check_schema(program))
+    report.extend(check_stratification(program))
+    report.extend(check_locations(program))
+    report.monotonicity = classify_monotonicity(program)
+    if retract_derivations is False:
+        report.extend(check_monotonicity(program, retract_derivations=False))
+    return report

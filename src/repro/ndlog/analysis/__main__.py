@@ -1,0 +1,7 @@
+"""``python -m repro.ndlog.analysis`` — the ``fvn-lint`` entry point."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -39,6 +39,31 @@ AGGREGATE_FUNCTIONS = ("min", "max", "count", "sum", "avg")
 
 
 @dataclass(frozen=True, slots=True)
+class Span:
+    """A source position (1-based line and column) attached to parsed AST
+    nodes so diagnostics and :class:`NDlogError` s can cite locations.
+
+    Spans are carried in ``compare=False`` fields: two nodes that differ
+    only in provenance still compare (and hash) equal, which keeps parsed
+    programs interchangeable with hand-built ones throughout the engines
+    and the test suite.
+    """
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+def _cite(span: Optional["Span"]) -> str:
+    """``" (line L:C)"`` when a span is known, else empty — appended to
+    error messages so parsed-program failures point at their source."""
+
+    return f" (line {span})" if span is not None else ""
+
+
+@dataclass(frozen=True, slots=True)
 class Aggregate:
     """An aggregate head argument such as ``min<C>``."""
 
@@ -69,6 +94,7 @@ class Literal:
     args: tuple[Term, ...]
     location: Optional[int] = None
     negated: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.args, tuple):
@@ -96,7 +122,7 @@ class Literal:
         return out
 
     def with_args(self, args: Sequence[Term]) -> "Literal":
-        return Literal(self.predicate, tuple(args), self.location, self.negated)
+        return Literal(self.predicate, tuple(args), self.location, self.negated, self.span)
 
     def __str__(self) -> str:
         rendered = []
@@ -114,6 +140,7 @@ class HeadLiteral:
     predicate: str
     args: tuple[HeadArg, ...]
     location: Optional[int] = None
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.args, tuple):
@@ -141,7 +168,7 @@ class HeadLiteral:
         return tuple(a.variable if isinstance(a, Aggregate) else a for a in self.args)
 
     def as_literal(self) -> Literal:
-        return Literal(self.predicate, self.plain_args(), self.location)
+        return Literal(self.predicate, self.plain_args(), self.location, span=self.span)
 
     def variables(self) -> frozenset[Var]:
         out: frozenset[Var] = frozenset()
@@ -163,6 +190,7 @@ class Assignment:
 
     variable: Var
     expression: Term
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def variables(self) -> frozenset[Var]:
         return frozenset((self.variable,)) | self.expression.free_vars()
@@ -178,6 +206,7 @@ class Condition:
     op: str
     left: Term
     right: Term
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.op not in COMPARISONS and self.op not in ("==", "!="):
@@ -202,6 +231,7 @@ class Rule:
     name: str
     head: HeadLiteral
     body: tuple[BodyItem, ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.body, tuple):
@@ -255,20 +285,25 @@ class Rule:
         unbound_head = self.head.variables() - bound
         if unbound_head:
             names = ", ".join(sorted(v.name for v in unbound_head))
-            raise NDlogError(f"rule {self.name}: unsafe head variables {{{names}}}")
+            raise NDlogError(
+                f"rule {self.name}: unsafe head variables {{{names}}}"
+                f"{_cite(self.head.span or self.span)}"
+            )
         for lit in self.negative_literals:
             unbound = lit.variables() - bound
             if unbound:
                 names = ", ".join(sorted(v.name for v in unbound))
                 raise NDlogError(
-                    f"rule {self.name}: unsafe variables {{{names}}} in negated literal {lit}"
+                    f"rule {self.name}: unsafe variables {{{names}}} in negated "
+                    f"literal {lit}{_cite(lit.span or self.span)}"
                 )
         for cond in self.conditions:
             unbound = cond.variables() - bound
             if unbound:
                 names = ", ".join(sorted(v.name for v in unbound))
                 raise NDlogError(
-                    f"rule {self.name}: unsafe variables {{{names}}} in condition {cond}"
+                    f"rule {self.name}: unsafe variables {{{names}}} in condition "
+                    f"{cond}{_cite(cond.span or self.span)}"
                 )
 
     @property
@@ -296,6 +331,7 @@ class Fact:
     predicate: str
     values: tuple[object, ...]
     location: Optional[int] = 0
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.values, tuple):
@@ -322,6 +358,7 @@ class MaterializeDecl:
     lifetime: float
     max_size: float
     keys: tuple[int, ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def is_soft_state(self) -> bool:
@@ -393,21 +430,21 @@ class Program:
 
         arities: dict[str, int] = {}
 
-        def note(pred: str, arity: int, where: str) -> None:
+        def note(pred: str, arity: int, where: str, span: Optional[Span] = None) -> None:
             if pred in arities and arities[pred] != arity:
                 raise NDlogError(
                     f"predicate {pred!r} used with arity {arity} in {where} "
-                    f"but {arities[pred]} elsewhere"
+                    f"but {arities[pred]} elsewhere{_cite(span)}"
                 )
             arities.setdefault(pred, arity)
 
         for r in self.rules:
             r.check_safety()
-            note(r.head.predicate, r.head.arity, f"rule {r.name} head")
+            note(r.head.predicate, r.head.arity, f"rule {r.name} head", r.head.span)
             for lit in r.body_literals:
-                note(lit.predicate, lit.arity, f"rule {r.name} body")
+                note(lit.predicate, lit.arity, f"rule {r.name} body", lit.span)
         for f in self.facts:
-            note(f.predicate, len(f.values), "fact")
+            note(f.predicate, len(f.values), "fact", f.span)
 
     def __str__(self) -> str:
         lines = [f"/* program {self.name} */"]

@@ -44,15 +44,23 @@ from .ast import (
     NDlogError,
     Program,
     Rule,
+    Span,
 )
 
 
 class ParseError(NDlogError):
     """Raised on malformed NDlog input."""
 
-    def __init__(self, message: str, line: int = 0) -> None:
-        super().__init__(f"line {line}: {message}" if line else message)
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        if line and column:
+            rendered = f"line {line}:{column}: {message}"
+        elif line:
+            rendered = f"line {line}: {message}"
+        else:
+            rendered = message
+        super().__init__(rendered)
         self.line = line
+        self.column = column
 
 
 @dataclass(frozen=True)
@@ -60,6 +68,11 @@ class Token:
     kind: str
     value: str
     line: int
+    column: int = 0
+
+    @property
+    def span(self) -> Span:
+        return Span(self.line, self.column)
 
 
 _TOKEN_RE = re.compile(
@@ -84,17 +97,24 @@ def tokenize(text: str) -> list[Token]:
     tokens: list[Token] = []
     pos = 0
     line = 1
+    line_start = 0  # offset of the current line's first character
     while pos < len(text):
         m = _TOKEN_RE.match(text, pos)
         if m is None:
-            raise ParseError(f"unexpected character {text[pos]!r}", line)
+            raise ParseError(
+                f"unexpected character {text[pos]!r}", line, pos - line_start + 1
+            )
         kind = m.lastgroup or ""
         value = m.group()
-        line += value.count("\n")
+        column = pos - line_start + 1
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + value.rfind("\n") + 1
         pos = m.end()
         if kind in ("ws", "comment"):
             continue
-        tokens.append(Token(kind, value, line))
+        tokens.append(Token(kind, value, line, column))
     return tokens
 
 
@@ -110,15 +130,21 @@ class _TokenStream:
     def next(self) -> Token:
         tok = self.peek()
         if tok is None:
-            last_line = self._tokens[-1].line if self._tokens else 0
-            raise ParseError("unexpected end of input", last_line)
+            last = self._tokens[-1] if self._tokens else None
+            raise ParseError(
+                "unexpected end of input",
+                last.line if last else 0,
+                last.column if last else 0,
+            )
         self._index += 1
         return tok
 
     def expect(self, value: str) -> Token:
         tok = self.next()
         if tok.value != value:
-            raise ParseError(f"expected {value!r}, found {tok.value!r}", tok.line)
+            raise ParseError(
+                f"expected {value!r}, found {tok.value!r}", tok.line, tok.column
+            )
         return tok
 
     def at(self, value: str, offset: int = 0) -> bool:
@@ -150,11 +176,17 @@ def _make_identifier_term(name: str) -> Term:
 
 
 class Parser:
-    """Recursive-descent parser producing a :class:`Program`."""
+    """Recursive-descent parser producing a :class:`Program`.
 
-    def __init__(self, text: str, name: str = "program") -> None:
+    ``strict=False`` parses without enforcing rule safety or program-level
+    arity consistency: the static analyzer uses it to load programs whose
+    violations it reports as sourced diagnostics instead of parse failures.
+    """
+
+    def __init__(self, text: str, name: str = "program", *, strict: bool = True) -> None:
         self.stream = _TokenStream(tokenize(text))
         self.name = name
+        self.strict = strict
 
     # ------------------------------------------------------------------
     # Top level
@@ -163,14 +195,18 @@ class Parser:
         program = Program(self.name)
         while not self.stream.exhausted:
             self._parse_clause(program)
-        program.check()
+        if self.strict:
+            program.check()
         return program
 
     def _parse_clause(self, program: Program) -> None:
         tok = self.stream.peek()
         assert tok is not None
         if tok.kind != "ident":
-            raise ParseError(f"expected a clause, found {tok.value!r}", tok.line)
+            raise ParseError(
+                f"expected a clause, found {tok.value!r}", tok.line, tok.column
+            )
+        clause_span = tok.span
         # materialize declaration
         if tok.value == "materialize" and self.stream.at("(", 1):
             program.add_materialize(self._parse_materialize())
@@ -187,8 +223,11 @@ class Parser:
             self.stream.expect(".")
             if not rule_name:
                 rule_name = f"r{len(program.rules) + 1}"
-            rule = Rule(rule_name, head, tuple(body))
-            program.add_rule(rule)
+            rule = Rule(rule_name, head, tuple(body), span=clause_span)
+            if self.strict:
+                program.add_rule(rule)
+            else:
+                program.rules.append(rule)
             return
         # otherwise it's a fact
         self.stream.expect(".")
@@ -204,7 +243,9 @@ class Parser:
                 line = head_tok.line if head_tok else 0
                 raise ParseError("facts must be ground", line)
             values.append(arg.value)
-        program.add_fact(Fact(head.predicate, tuple(values), head.location))
+        program.add_fact(
+            Fact(head.predicate, tuple(values), head.location, span=clause_span)
+        )
 
     def _parse_materialize(self) -> MaterializeDecl:
         self.stream.expect("materialize")
@@ -230,7 +271,9 @@ class Parser:
         self.stream.expect(")")
         self.stream.expect(")")
         self.stream.expect(".")
-        return MaterializeDecl(sys.intern(pred_tok.value), lifetime, size, tuple(keys))
+        return MaterializeDecl(
+            sys.intern(pred_tok.value), lifetime, size, tuple(keys), span=pred_tok.span
+        )
 
     def _parse_number_or_infinity(self) -> float:
         tok = self.stream.next()
@@ -260,7 +303,7 @@ class Parser:
             if self.stream.at(","):
                 self.stream.next()
         self.stream.expect(")")
-        return HeadLiteral(sys.intern(pred.value), tuple(args), location)
+        return HeadLiteral(sys.intern(pred.value), tuple(args), location, span=pred.span)
 
     def _parse_head_arg(self) -> HeadArg:
         tok = self.stream.peek()
@@ -293,7 +336,7 @@ class Parser:
         if tok.value == "!" or (tok.kind == "ident" and tok.value == "not" and self.stream.at_kind("ident", 1) and self.stream.at("(", 2)):
             self.stream.next()
             lit = self._parse_literal()
-            return Literal(lit.predicate, lit.args, lit.location, negated=True)
+            return Literal(lit.predicate, lit.args, lit.location, negated=True, span=lit.span)
         # positive literal: ident '(' ... but beware function-call conditions
         # such as f_inPath(P2,S)=false — disambiguate by looking for a
         # comparison operator after the closing parenthesis.
@@ -304,15 +347,20 @@ class Parser:
         left = self._parse_expression()
         op_tok = self.stream.next()
         if op_tok.kind not in ("op",):
-            raise ParseError(f"expected a comparison operator, found {op_tok.value!r}", op_tok.line)
+            raise ParseError(
+                f"expected a comparison operator, found {op_tok.value!r}",
+                op_tok.line,
+                op_tok.column,
+            )
         right = self._parse_expression()
         op = {"==": "=", "!=": "/=", "<>": "/="}.get(op_tok.value, op_tok.value)
+        span = tok.span
         if op == "=" and isinstance(left, Var):
-            return Assignment(left, right)
+            return Assignment(left, right, span=span)
         if op == "=" and isinstance(right, Var) and not isinstance(left, Var):
             # allow 'expr = Var' as assignment too (uncommon but harmless)
-            return Assignment(right, left)
-        return Condition(op, left, right)
+            return Assignment(right, left, span=span)
+        return Condition(op, left, right, span=span)
 
     def _call_is_condition(self) -> bool:
         """Look ahead past a balanced ``ident(...)`` for a comparison operator."""
@@ -349,7 +397,7 @@ class Parser:
             if self.stream.at(","):
                 self.stream.next()
         self.stream.expect(")")
-        return Literal(sys.intern(pred.value), tuple(args), location)
+        return Literal(sys.intern(pred.value), tuple(args), location, span=pred.span)
 
     # ------------------------------------------------------------------
     # Expressions
@@ -401,10 +449,14 @@ class Parser:
         raise ParseError(f"unexpected token {tok.value!r}", tok.line)
 
 
-def parse_program(text: str, name: str = "program") -> Program:
-    """Parse NDlog source text into a :class:`Program`."""
+def parse_program(text: str, name: str = "program", *, strict: bool = True) -> Program:
+    """Parse NDlog source text into a :class:`Program`.
 
-    return Parser(text, name).parse()
+    ``strict=False`` skips rule-safety and arity checks so the static
+    analyzer (:mod:`repro.ndlog.analysis`) can report them as diagnostics.
+    """
+
+    return Parser(text, name, strict=strict).parse()
 
 
 def parse_rule(text: str, name: str = "rule") -> Rule:

@@ -117,6 +117,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON fault-plan file injected for chaos testing (docs/FAULTS.md)",
     )
+    serve.add_argument(
+        "--allow-unsafe",
+        action="store_true",
+        help="boot even if static analysis finds errors (docs/ANALYSIS.md)",
+    )
 
     for name, verbs in (("update", UPDATE_VERBS), ("query", QUERY_VERBS)):
         client_parser = sub.add_parser(
@@ -203,6 +208,7 @@ def _serve(args: argparse.Namespace) -> int:
         snapshot_every=args.snapshot_every,
         dedup_cache=args.dedup_cache,
         fault_plan=args.fault_plan,
+        allow_unsafe=args.allow_unsafe,
     )
     if args.monitors is not None:
         config.monitors = tuple(

@@ -70,11 +70,22 @@ class ServerConfig:
     #: Path to a JSON :class:`~repro.dn.faults.FaultPlan` injected into the
     #: daemon for chaos testing (``None`` disables fault injection).
     fault_plan: Optional[str] = None
+    #: Boot even when the static analyzer (``fvn-lint``) finds
+    #: error-severity diagnostics in the serving program; the default
+    #: refuses to serve unsafe programs (see ``docs/ANALYSIS.md``).
+    allow_unsafe: bool = False
 
     # ------------------------------------------------------------------
     #: fields an operator may change across restarts without invalidating
     #: the persisted ledger/snapshot state
-    RESTART_SAFE = ("host", "port", "state_dir", "dedup_cache", "fault_plan")
+    RESTART_SAFE = (
+        "host",
+        "port",
+        "state_dir",
+        "dedup_cache",
+        "fault_plan",
+        "allow_unsafe",
+    )
 
     def to_dict(self) -> dict:
         out = asdict(self)

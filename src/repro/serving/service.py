@@ -151,6 +151,7 @@ class RouteService:
                     canonical_json({"config": self.config.to_dict()}) + "\n"
                 )
         self.program = build_serving_program(self.config)
+        self._check_program(self.program)
         self.schema = schema_for_program(self.program)
 
         updates = self._read_ledger()
@@ -168,6 +169,21 @@ class RouteService:
             ack = self._apply(verb, args)
             if key is not None:
                 self._remember_ack(key, ack)
+
+    def _check_program(self, program: Program) -> None:
+        """Boot guard: refuse to serve a program the static analyzer
+        rejects (``fvn-lint`` error severity), unless ``allow_unsafe``."""
+
+        from ..ndlog.analysis import analyze_program
+
+        report = analyze_program(program)
+        if report.errors and not self.config.allow_unsafe:
+            details = "; ".join(d.format(program.name) for d in report.errors[:5])
+            raise ServiceError(
+                f"program {program.name!r} fails static analysis with "
+                f"{len(report.errors)} error(s): {details} "
+                "(pass --allow-unsafe to serve it anyway)"
+            )
 
     def _read_ledger(self) -> list[tuple[str, dict, Optional[str]]]:
         if not self.ledger_path:

@@ -1,0 +1,74 @@
+"""Source spans on parsed AST nodes and location-citing NDlogErrors.
+
+Spans ride in ``compare=False`` fields so parsed programs stay
+interchangeable with hand-built ones (equality, hashing, interning), and
+must survive pickling — campaign workers ship programs across processes.
+"""
+
+import pickle
+
+import pytest
+
+from repro.ndlog.ast import NDlogError, Span
+from repro.ndlog.parser import parse_program, parse_rule
+from repro.protocols.pathvector import PATH_VECTOR_SOURCE
+
+SOURCE = (
+    "materialize(link, infinity, infinity, keys(1,2)).\n"
+    "r1 path(@S,D) :- link(@S,D).\n"
+    "r2 path(@S,D) :- link(@S,Z),\n"
+    "                 path(@Z,D).\n"
+)
+
+
+class TestSpans:
+    def test_rules_carry_line_numbers(self):
+        program = parse_program(SOURCE, "t")
+        r1, r2 = program.rules
+        assert r1.span == Span(2, 1)
+        assert r2.span.line == 3
+
+    def test_literals_carry_columns(self):
+        program = parse_program(SOURCE, "t")
+        r1 = program.rules[0]
+        assert r1.head.span.line == 2
+        (link,) = r1.body_literals
+        assert link.span.line == 2
+        assert link.span.column > r1.head.span.column
+
+    def test_multiline_rule_body_spans(self):
+        program = parse_program(SOURCE, "t")
+        r2 = program.rules[1]
+        lines = sorted(lit.span.line for lit in r2.body_literals)
+        assert lines == [3, 4]
+
+    def test_materialize_span(self):
+        program = parse_program(SOURCE, "t")
+        assert program.materialized["link"].span.line == 1
+
+    def test_span_str(self):
+        assert str(Span(7, 3)) == "7:3"
+
+    def test_spans_do_not_affect_equality_or_hash(self):
+        parsed = parse_rule("r1 path(@S,D) :- link(@S,D).")
+        reparsed = parse_rule("\n\n   r1 path(@S,D) :- link(@S,D).")
+        assert parsed.span != reparsed.span
+        assert parsed == reparsed
+        assert hash(parsed.head) == hash(reparsed.head)
+
+    def test_programs_pickle_with_spans(self):
+        program = parse_program(PATH_VECTOR_SOURCE, "pv")
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone == program
+        assert clone.rules[0].span == program.rules[0].span
+
+
+class TestErrorCitations:
+    def test_arity_mismatch_cites_line(self):
+        source = "r1 p(@X) :- link(@X,Y).\nr2 p(@X) :- link(@X,Y,C)."
+        with pytest.raises(NDlogError, match=r"line 2:"):
+            parse_program(source, "t")
+
+    def test_unsafe_rule_cites_line(self):
+        with pytest.raises(NDlogError, match=r"line 1:"):
+            parse_program("r1 p(@X,Y) :- q(@X).", "t")

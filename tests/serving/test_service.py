@@ -175,3 +175,49 @@ class TestTupleNodeIds:
             assert ack["settled"]
         finally:
             svc.close()
+
+
+class TestBootLintGuard:
+    """``fvn-serve serve`` refuses statically-rejected programs at boot
+    (docs/ANALYSIS.md) unless ``allow_unsafe`` overrides the guard."""
+
+    #: remote negation: bestPathCost is tested at @D from a rule local to
+    #: @S — diagnostic NDL304, an error-severity finding
+    UNSAFE_RULE = "u1 unsafe(@S) :- link(@S,D,C), !bestPathCost(@D,S,C).\n"
+
+    @pytest.fixture()
+    def unsafe_program(self, monkeypatch):
+        from repro.ndlog.parser import parse_program
+        from repro.protocols.pathvector import PATH_VECTOR_SOURCE
+        import repro.serving.service as service_mod
+
+        program = parse_program(
+            PATH_VECTOR_SOURCE + self.UNSAFE_RULE, "unsafe-serving"
+        )
+        monkeypatch.setattr(
+            service_mod, "build_serving_program", lambda config: program
+        )
+        return program
+
+    def test_boot_refuses_unsafe_program(self, unsafe_program):
+        from repro.serving.service import ServiceError
+
+        with pytest.raises(ServiceError, match="NDL304"):
+            RouteService(ServerConfig(family="tree", size=8, snapshot_every=0))
+
+    def test_allow_unsafe_overrides_the_guard(self, unsafe_program):
+        svc = RouteService(
+            ServerConfig(family="tree", size=8, snapshot_every=0, allow_unsafe=True)
+        )
+        try:
+            assert svc.settled
+            assert svc.query("routes", {})["count"] > 0
+        finally:
+            svc.close()
+
+    def test_cli_flag_threads_through(self):
+        from repro.serving.cli import _build_parser
+
+        args = _build_parser().parse_args(["serve", "--allow-unsafe"])
+        assert args.allow_unsafe is True
+        assert _build_parser().parse_args(["serve"]).allow_unsafe is False
