@@ -1,0 +1,110 @@
+"""Shared plumbing for the CI smoke scripts.
+
+The smoke scripts (``serving_smoke.py``, ``chaos_smoke.py``,
+``obs_smoke.py``) all boot daemons and write evidence the same way; the
+boot/poll/teardown logic lives here once.  Importing this module also puts
+``src/`` on ``sys.path``, so scripts import it *before* any ``repro``
+module::
+
+    from _smoke_common import REPO_ROOT, start_daemon, write_evidence
+    from repro.serving import ServingClient
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serving import RouteServer, RouteService, ServerConfig, ServingClient  # noqa: E402
+
+
+def serving_env() -> dict:
+    """A subprocess environment with the repo's ``src/`` importable."""
+
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def start_daemon(
+    state_dir: Path, log_path: Path, *extra_args: str, boot_timeout: float = 60.0
+) -> subprocess.Popen:
+    """Boot ``python -m repro.serving serve`` and wait until it is ready.
+
+    ``extra_args`` are appended to the serve command line (family, size,
+    snapshot cadence, ``--trace-out``…).  A killed daemon leaves a stale
+    ``server.json``; readiness means the NEW process has written its own.
+    """
+
+    (state_dir / "server.json").unlink(missing_ok=True)
+    log = log_path.open("a")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.serving", "serve",
+            "--state-dir", str(state_dir),
+            *extra_args,
+        ],
+        env=serving_env(),
+        stdout=log,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + boot_timeout
+    server_info = state_dir / "server.json"
+    while time.time() < deadline:
+        if server_info.exists() and proc.poll() is None:
+            return proc
+        if proc.poll() is not None:
+            break
+        time.sleep(0.2)
+    raise SystemExit(f"daemon failed to boot; see {log_path}")
+
+
+class ServerThread:
+    """A RouteServer on a background event loop (same shape as the tests)."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.service = RouteService(config)
+        self.server = RouteServer(self.service)
+        ready = threading.Event()
+
+        def run() -> None:
+            async def main() -> None:
+                await self.server.start()
+                ready.set()
+                await self.server.serve_until_stopped()
+
+            asyncio.run(main())
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        if not ready.wait(30):
+            raise SystemExit("smoke: daemon thread failed to start")
+
+    def stop(self) -> None:
+        if self.thread.is_alive():
+            try:
+                with ServingClient(self.server.host, self.server.port) as client:
+                    client.stop()
+            except Exception:
+                self.server.stop()
+            self.thread.join(30)
+
+
+def write_evidence(artifacts: Path, evidence: dict) -> None:
+    """Write (and echo) the smoke run's ``evidence.json``."""
+
+    artifacts.mkdir(parents=True, exist_ok=True)
+    (artifacts / "evidence.json").write_text(
+        json.dumps(evidence, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    print(json.dumps(evidence, indent=2, sort_keys=True, default=str))

@@ -26,27 +26,18 @@ Exits non-zero on any failure.  Usage::
 from __future__ import annotations
 
 import argparse
-import asyncio
-import json
 import sys
 import tempfile
-import threading
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parents[1]
-sys.path.insert(0, str(REPO_ROOT / "src"))
+from _smoke_common import ServerThread, write_evidence  # noqa: F401 (sets sys.path)
 
 from repro.bgp.generator import policy_path_vector_program  # noqa: E402
 from repro.dn import EngineConfig, FaultPlan, ShardedEngine, create_engine  # noqa: E402
 from repro.dn.faults import ANY_SCOPE, SERVING_SCOPE, Fault  # noqa: E402
 from repro.fvn.monitors import schema_for_program, standard_monitors  # noqa: E402
 from repro.scenarios import churn_updates, generate_scenario  # noqa: E402
-from repro.serving import (  # noqa: E402
-    RouteServer,
-    RouteService,
-    ServerConfig,
-    ServingClient,
-)
+from repro.serving import RouteService, ServerConfig, ServingClient  # noqa: E402
 
 FAMILY = "tree"
 SIZE = 16
@@ -122,37 +113,6 @@ def chaos_sharded(evidence: dict) -> None:
         raise SystemExit("sharded chaos: fingerprint diverged from fault-free control")
     if not chaotic["monitors_ok"]:
         raise SystemExit("sharded chaos: runtime monitors went red")
-
-
-class ServerThread:
-    """A RouteServer on a background event loop (same shape as the tests)."""
-
-    def __init__(self, config: ServerConfig) -> None:
-        self.service = RouteService(config)
-        self.server = RouteServer(self.service)
-        ready = threading.Event()
-
-        def run() -> None:
-            async def main() -> None:
-                await self.server.start()
-                ready.set()
-                await self.server.serve_until_stopped()
-
-            asyncio.run(main())
-
-        self.thread = threading.Thread(target=run, daemon=True)
-        self.thread.start()
-        if not ready.wait(30):
-            raise SystemExit("serving chaos: daemon thread failed to start")
-
-    def stop(self) -> None:
-        if self.thread.is_alive():
-            try:
-                with ServingClient(self.server.host, self.server.port) as client:
-                    client.stop()
-            except Exception:
-                self.server.stop()
-            self.thread.join(30)
 
 
 def chaos_serving(evidence: dict, state_root: Path) -> None:
@@ -265,17 +225,13 @@ def main() -> int:
     )
     args = parser.parse_args()
     artifacts = Path(args.artifacts)
-    artifacts.mkdir(parents=True, exist_ok=True)
     evidence: dict = {"plan_seed": PLAN_SEED, "family": FAMILY, "size": SIZE}
 
     chaos_sharded(evidence)
     with tempfile.TemporaryDirectory() as tmp:
         chaos_serving(evidence, Path(tmp))
 
-    (artifacts / "evidence.json").write_text(
-        json.dumps(evidence, indent=2, sort_keys=True, default=str) + "\n"
-    )
-    print(json.dumps(evidence, indent=2, sort_keys=True, default=str))
+    write_evidence(artifacts, evidence)
     print(
         f"chaos smoke OK: {len(evidence['sharded']['injected'])} shard faults and "
         f"{len(evidence['serving']['injected'])} serving faults injected, "

@@ -31,6 +31,12 @@ Two checks:
    ``docs/ANALYSIS.md``, so ``fvn-lint`` cannot grow undocumented
    diagnostics.
 
+6. **Observability coverage** — every metric in
+   ``repro/obs/metrics.py`` (``METRIC_NAMES``) and every span in
+   ``repro/obs/tracing.py`` (``SPAN_NAMES``) must be documented in
+   ``docs/OBSERVABILITY.md``, so the closed obs catalogs and their
+   reference cannot drift.
+
 Exit status 0 = all good; 1 = violations (listed on stdout).
 
 Usage::
@@ -242,12 +248,32 @@ def main() -> int:
                 )
                 failures += 1
 
+    obs_md_path = root / "docs" / "OBSERVABILITY.md"
+    if not obs_md_path.exists():
+        print(f"MISSING FILE: {obs_md_path}")
+        failures += 1
+    else:
+        obs_md = obs_md_path.read_text()
+        obs_dir = root / "src" / "repro" / "obs"
+        for label, module, names in [
+            ("METRIC", obs_dir / "metrics.py", ("METRIC_NAMES",)),
+            ("SPAN", obs_dir / "tracing.py", ("SPAN_NAMES",)),
+        ]:
+            for name in string_tuples(module, names):
+                if f"`{name}`" not in obs_md:
+                    print(
+                        f"UNDOCUMENTED {label}: {name} not mentioned in "
+                        "docs/OBSERVABILITY.md"
+                    )
+                    failures += 1
+
     if failures:
         print(f"\n{failures} documentation violation(s)")
         return 1
     print(
         "docs check: all modules documented, all config fields, serving "
-        "flags, wire verbs, fault kinds, and diagnostic codes covered"
+        "flags, wire verbs, fault kinds, diagnostic codes, and obs "
+        "metric/span names covered"
     )
     return 0
 

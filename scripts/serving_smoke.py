@@ -20,17 +20,13 @@ Exits non-zero on any failure.  Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import subprocess
 import sys
 import tempfile
 import threading
-import time
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parents[1]
-sys.path.insert(0, str(REPO_ROOT / "src"))
+from _smoke_common import start_daemon, write_evidence  # noqa: F401 (sets sys.path)
 
 from repro.scenarios import churn_updates, generate_scenario  # noqa: E402
 from repro.serving import ServingClient  # noqa: E402
@@ -40,38 +36,12 @@ SIZE = 20
 CHURN_EVENTS = 6
 
 
-def serving_env() -> dict:
-    env = os.environ.copy()
-    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
-    return env
-
-
-def start_daemon(state_dir: Path, log_path: Path) -> subprocess.Popen:
-    # a killed daemon leaves a stale server.json; readiness means the NEW
-    # process has written its own
-    (state_dir / "server.json").unlink(missing_ok=True)
-    log = log_path.open("a")
-    proc = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro.serving", "serve",
-            "--state-dir", str(state_dir),
-            "--family", FAMILY, "--size", str(SIZE),
-            "--snapshot-every", "4",
-        ],
-        env=serving_env(),
-        stdout=log,
-        stderr=subprocess.STDOUT,
-        text=True,
+def boot(state_dir: Path, log_path: Path) -> subprocess.Popen:
+    return start_daemon(
+        state_dir, log_path,
+        "--family", FAMILY, "--size", str(SIZE),
+        "--snapshot-every", "4",
     )
-    deadline = time.time() + 60
-    server_info = state_dir / "server.json"
-    while time.time() < deadline:
-        if server_info.exists() and proc.poll() is None:
-            return proc
-        if proc.poll() is not None:
-            break
-        time.sleep(0.2)
-    raise SystemExit(f"daemon failed to boot; see {log_path}")
 
 
 def main() -> int:
@@ -95,7 +65,7 @@ def main() -> int:
         state_dir = Path(tmp) / "state"
         state_dir.mkdir()
         log_path = artifacts / "daemon.log"
-        daemon = start_daemon(state_dir, log_path)
+        daemon = boot(state_dir, log_path)
         try:
             acks: list = []
             query_count = [0, 0]
@@ -138,7 +108,7 @@ def main() -> int:
             # hard-kill mid-life, restart, demand byte-identical recovery
             daemon.kill()
             daemon.wait(timeout=60)
-            daemon = start_daemon(state_dir, log_path)
+            daemon = boot(state_dir, log_path)
             with ServingClient.from_state_dir(state_dir, timeout=120) as client:
                 recovered = client.query("fingerprint")
                 recovered_status = client.query("status")
@@ -156,10 +126,7 @@ def main() -> int:
                 daemon.kill()
                 daemon.wait(timeout=30)
 
-    (artifacts / "evidence.json").write_text(
-        json.dumps(evidence, indent=2, sort_keys=True, default=str) + "\n"
-    )
-    print(json.dumps(evidence, indent=2, sort_keys=True, default=str))
+    write_evidence(artifacts, evidence)
     if not evidence["byte_identical"]:
         print("FAIL: recovered state diverged from pre-kill fingerprint")
         return 1

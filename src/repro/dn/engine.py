@@ -75,6 +75,8 @@ from ..ndlog.ast import Fact, NDlogError, Program
 from ..ndlog.functions import builtin_registry
 from ..ndlog.localization import localize_program
 from ..ndlog.seminaive import RuleEngine
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from .events import Event, EventScheduler
 from .executor import FixpointExecutor
 from .network import Channel, NodeId, Topology
@@ -258,6 +260,10 @@ class DistributedEngine:
             node_id: deque() for node_id in topology.nodes
         }
         self._flush_marks: dict[NodeId, float] = {}
+        # high-water marks already reported to the metrics registry, so
+        # repeated run() segments record deltas rather than double-counting
+        self._obs_events_seen = 0
+        self._obs_firings_seen = 0
 
     # ------------------------------------------------------------------
     # Runtime monitors
@@ -461,9 +467,12 @@ class DistributedEngine:
         queue = self._pending[node_id]
         ops = list(queue)
         queue.clear()
+        if obs_metrics.ENABLED:
+            obs_metrics.inc("engine.flushes")
         self._fixpoint_depth += 1
         try:
-            self.executor.drain(self.nodes[node_id], ops, self.scheduler.now)
+            with obs_tracing.span("engine.flush", node=str(node_id), ops=len(ops)):
+                self.executor.drain(self.nodes[node_id], ops, self.scheduler.now)
         finally:
             self._fixpoint_depth -= 1
         if self.monitors:
@@ -764,11 +773,32 @@ class DistributedEngine:
 
         if not self._seeded:
             self.seed_facts(extra_facts)
-        self.scheduler.run(until=until, max_events=self.config.max_events)
+        with obs_tracing.span("engine.run"):
+            self.scheduler.run(until=until, max_events=self.config.max_events)
         self.trace.events_processed = self.scheduler.processed
         self.trace.finished_at = self.scheduler.now
         self.trace.quiescent = self.scheduler.is_empty
+        if obs_metrics.ENABLED:
+            self._record_run_metrics()
         return self.trace
+
+    def _record_run_metrics(self) -> None:
+        """Fold this run segment's totals into the metrics registry.
+
+        Deltas against high-water marks keep repeated ``run()`` segments
+        (the serving settle loop, multi-phase harness runs) from
+        double-counting; the sharded engine calls this again after syncing
+        worker stats so the synced firings are picked up too.
+        """
+
+        processed = self.scheduler.processed
+        if processed > self._obs_events_seen:
+            obs_metrics.inc("engine.events", processed - self._obs_events_seen)
+            self._obs_events_seen = processed
+        firings = sum(node.stats.rule_firings for node in self.nodes.values())
+        if firings > self._obs_firings_seen:
+            obs_metrics.inc("engine.rule_firings", firings - self._obs_firings_seen)
+            self._obs_firings_seen = firings
 
     def node(self, node_id: NodeId) -> Node:
         return self.nodes[node_id]
@@ -795,6 +825,26 @@ class DistributedEngine:
 
     def total_messages(self) -> int:
         return self.trace.message_count
+
+    def explain(self, predicate: str, values: Iterable[object], **caps) -> dict:
+        """Derivation DAG of a stored row down to base facts.
+
+        Reconstructed on demand from the replica tables by
+        :func:`repro.obs.provenance.explain` (``caps``: ``max_depth``,
+        ``max_derivations``); call at a safe point on a settled engine.
+        """
+
+        from ..obs.provenance import explain as _explain
+
+        return _explain(self, predicate, tuple(values), **caps)
+
+    def why_not(self, predicate: str, values: Iterable[object], **caps) -> dict:
+        """Why no stored row matches ``values`` (``None`` = wildcard); see
+        :func:`repro.obs.provenance.why_not`."""
+
+        from ..obs.provenance import why_not as _why_not
+
+        return _why_not(self, predicate, tuple(values), **caps)
 
     def close(self) -> None:
         """Release external resources.  A no-op for the single-process

@@ -37,6 +37,7 @@ from ..ndlog.aggregates import diff_rows
 from ..ndlog.ast import Program, Rule
 from ..ndlog.plan import NEGATION_DELTA_SUFFIX, RuleFiring
 from ..ndlog.seminaive import DeltaIndex, RuleEngine, row_key
+from ..obs import metrics as obs_metrics
 from .node import Node
 
 #: an op queued for a node: ``(kind, predicate, values)`` with kind one of
@@ -178,6 +179,7 @@ class FixpointExecutor:
 
         queue: deque[Op] = deque(ops)
         if not self.retract_derivations:
+            rounds = 0
             while queue:
                 delta: dict[str, list[tuple]] = {}
                 while queue:
@@ -186,6 +188,11 @@ class FixpointExecutor:
                         delta.setdefault(predicate, []).append(values)
                 if not delta:
                     continue
+                rounds += 1
+                if obs_metrics.ENABLED:
+                    obs_metrics.observe(
+                        "engine.delta_batch_size", sum(len(v) for v in delta.values())
+                    )
                 plain, aggregate = self.triggered_rules(delta)
                 # one shared view so the delta is copied/grouped once per
                 # round, not once per triggered rule
@@ -197,6 +204,8 @@ class FixpointExecutor:
                 # tuple
                 for rule in aggregate:
                     self._dispatch(node, node.fire(rule), queue, now)
+            if rounds and obs_metrics.ENABLED:
+                obs_metrics.observe("engine.fixpoint_rounds", rounds)
             return
         self.settle(node, queue, now)
 
@@ -248,6 +257,7 @@ class FixpointExecutor:
 
         changed: set[str] = set()
         deleted: set[str] = set()
+        rounds = 0
         while queue or changed:
             if not queue:
                 _, aggregate = self.triggered_rules(changed)
@@ -275,12 +285,16 @@ class FixpointExecutor:
                         break
                     seen_del.add(key)
                     del_ops.append(queue.popleft())
+            if del_ops or ins_ops:
+                rounds += 1
             if del_ops:
                 removed = self._deletion_subround(node, del_ops, queue, now)
                 changed |= removed
                 deleted |= removed
             if ins_ops:
                 changed |= self._insertion_subround(node, ins_ops, queue, now)
+        if rounds and obs_metrics.ENABLED:
+            obs_metrics.observe("engine.fixpoint_rounds", rounds)
 
     def _consistency_sweep(
         self, node: Node, deleted: set[str], queue, now: float
@@ -417,6 +431,8 @@ class FixpointExecutor:
                     node.delete(predicate, row)
                     self.record_change(now, node.id, predicate, row, kind)
                 changed.update(removed)
+                if obs_metrics.ENABLED:
+                    obs_metrics.observe("engine.retraction_cascade", len(decided))
                 self._dispatch_retractions(node, retractions, requeue, now)
                 # rows leaving a negated predicate enable blocked bindings
                 self._fire_negation_deltas(node, removed, requeue, now, retracting=False)
@@ -472,6 +488,10 @@ class FixpointExecutor:
                 if self._apply_insert(node, predicate, row, now):
                     delta.setdefault(predicate, []).append(row)
             if delta:
+                if obs_metrics.ENABLED:
+                    obs_metrics.observe(
+                        "engine.delta_batch_size", sum(len(v) for v in delta.values())
+                    )
                 plain, _ = self.triggered_rules(delta)
                 view = DeltaIndex(delta)
                 for rule in plain:

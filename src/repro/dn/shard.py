@@ -79,6 +79,8 @@ from ..ndlog.functions import builtin_registry
 from ..ndlog.localization import localize_program
 from ..ndlog.seminaive import RuleEngine
 from ..ndlog.store import StoredTuple
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from .engine import DistributedEngine, EngineConfig
 from .executor import FixpointExecutor, Op
 from .faults import FaultInjector, FaultPlan
@@ -234,6 +236,16 @@ class ShardWorker:
 
     def ping(self) -> bool:
         return True
+
+    def metrics(self) -> dict:
+        """Drain this worker's metrics registry (raw export + reset).
+
+        Draining (rather than snapshotting) keeps repeated collections
+        from double-counting; the coordinator merges the export into its
+        own registry after each run segment.
+        """
+
+        return obs_metrics.registry().drain()
 
     def load_state(self, state: dict) -> bool:
         """Adopt a partition's full structural state after a respawn.
@@ -603,6 +615,8 @@ class ShardedEngine(DistributedEngine):
         worker would have produced.
         """
 
+        if obs_metrics.ENABLED:
+            obs_metrics.inc("shard.respawns")
         self.shard_restarts[shard] += 1
         if self.shard_restarts[shard] > self.config.shard_restarts:
             raise NDlogError(
@@ -661,6 +675,8 @@ class ShardedEngine(DistributedEngine):
     def _submit(self, shard: int, method: str, args: tuple) -> None:
         """Supervised fire-and-collect-later submit to one shard."""
 
+        if obs_metrics.ENABLED:
+            obs_metrics.inc("shard.requests")
         while True:
             self._pre_request(shard)
             try:
@@ -679,12 +695,24 @@ class ShardedEngine(DistributedEngine):
         byte-reproducing for the drain verbs).
         """
 
+        if not obs_metrics.ENABLED:
+            while True:
+                self._pre_request(shard)
+                try:
+                    return self._clients[shard].call(method, args)
+                except ShardCrash as exc:
+                    self._revive(shard, exc)
+        start = time.perf_counter()
+        obs_metrics.inc("shard.requests")
         while True:
             self._pre_request(shard)
             try:
-                return self._clients[shard].call(method, args)
+                result = self._clients[shard].call(method, args)
             except ShardCrash as exc:
                 self._revive(shard, exc)
+                continue
+            obs_metrics.observe("shard.request_seconds", time.perf_counter() - start)
+            return result
 
     # ------------------------------------------------------------------
     # Effect replay
@@ -766,31 +794,35 @@ class ShardedEngine(DistributedEngine):
                 break
             self._flush_marks.pop(event.target, None)
             wave.append(event.target)
-        payloads: dict[int, list[tuple[NodeId, list[Op]]]] = {}
-        for nid in wave:
-            queue = self._pending[nid]
-            ops = list(queue)
-            queue.clear()
-            payloads.setdefault(self.partition_map[nid], []).append((nid, ops))
-        for shard, items in payloads.items():
-            self._submit(shard, "flush_batch", (now, items))
-        results: dict[NodeId, tuple[list, list]] = {}
-        for shard, items in payloads.items():
-            try:
-                outcome = self._clients[shard].result()
-            except ShardCrash as exc:
-                # the worker died mid-drain: nothing was replayed, so the
-                # replica is still pre-request — revive and retry the whole
-                # batch (the recomputation is byte-identical)
-                self._revive(shard, exc)
-                outcome = self._call(shard, "flush_batch", (now, items))
-            for (nid, _), result in zip(items, outcome):
-                results[nid] = result
-        for nid in wave:
-            records, sends = results[nid]
-            self._replay(records, sends)
-            if self.monitors:
-                self._notify_settle(nid)
+        if obs_metrics.ENABLED:
+            obs_metrics.inc("shard.flush_waves")
+            obs_metrics.observe("shard.wave_size", len(wave))
+        with obs_tracing.span("shard.flush_wave", nodes=len(wave)):
+            payloads: dict[int, list[tuple[NodeId, list[Op]]]] = {}
+            for nid in wave:
+                queue = self._pending[nid]
+                ops = list(queue)
+                queue.clear()
+                payloads.setdefault(self.partition_map[nid], []).append((nid, ops))
+            for shard, items in payloads.items():
+                self._submit(shard, "flush_batch", (now, items))
+            results: dict[NodeId, tuple[list, list]] = {}
+            for shard, items in payloads.items():
+                try:
+                    outcome = self._clients[shard].result()
+                except ShardCrash as exc:
+                    # the worker died mid-drain: nothing was replayed, so the
+                    # replica is still pre-request — revive and retry the whole
+                    # batch (the recomputation is byte-identical)
+                    self._revive(shard, exc)
+                    outcome = self._call(shard, "flush_batch", (now, items))
+                for (nid, _), result in zip(items, outcome):
+                    results[nid] = result
+            for nid in wave:
+                records, sends = results[nid]
+                self._replay(records, sends)
+                if self.monitors:
+                    self._notify_settle(nid)
 
     def _apply_immediate(self, node_id: NodeId, op: Op) -> None:
         """Per-tuple mode: run the op on the owning worker, then replay."""
@@ -844,7 +876,25 @@ class ShardedEngine(DistributedEngine):
     def run(self, *, until: float = float("inf"), extra_facts=()):
         trace = super().run(until=until, extra_facts=extra_facts)
         self._sync_worker_stats()
+        if obs_metrics.ENABLED:
+            self._collect_worker_metrics()
+            # pick up the rule firings the stats sync just folded in
+            self._record_run_metrics()
         return trace
+
+    def _collect_worker_metrics(self) -> None:
+        """Merge each worker's drained metrics into this process's registry.
+
+        Workers inherit the coordinator's enablement at fork time (enable
+        observability before building the engine); their executor-level
+        counters — fixpoint rounds, delta batch sizes, retraction cascades
+        — accrue process-locally and are folded in here after each run
+        segment, mirroring :meth:`_sync_worker_stats`.
+        """
+
+        for shard, members in enumerate(self._members):
+            if members:
+                obs_metrics.registry().merge(self._call(shard, "metrics"))
 
     def _sync_worker_stats(self) -> None:
         """Fold worker-side counters into the replica's node stats.

@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import Optional
 
 from .records import RunRecord
-from .report import diff_campaigns, format_summary
+from .report import diff_campaigns, format_metrics, format_summary
 from .runner import run_campaign
 from .spec import SpecError, load_spec
 
@@ -63,9 +63,25 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"
     )
+    run_parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="collect per-run metrics and spans into the ledger and a merged "
+        "metrics.json (results.jsonl stays byte-identical; docs/OBSERVABILITY.md)",
+    )
+    run_parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a Chrome trace-event JSON of the campaign here (implies --obs)",
+    )
 
     report_parser = sub.add_parser("report", help="summarize a campaign directory")
     report_parser.add_argument("out_dir", help="campaign output directory")
+    report_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="show the merged obs metrics instead of the summary table",
+    )
 
     diff_parser = sub.add_parser(
         "diff", help="compare the deterministic results of two campaigns"
@@ -93,12 +109,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     out_dir = Path(args.out) if args.out else Path("campaigns") / spec.name
+    if args.obs:
+        spec.obs = True
     result = run_campaign(
         spec,
         out_dir,
         workers=args.workers,
         resume=not args.fresh,
         progress=None if args.quiet else _progress,
+        trace_out=args.trace_out,
     )
     print()
     print(format_summary(out_dir))
@@ -117,7 +136,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     try:
-        print(format_summary(args.out_dir))
+        if args.metrics:
+            print(format_metrics(args.out_dir))
+        else:
+            print(format_summary(args.out_dir))
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

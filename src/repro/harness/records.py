@@ -20,6 +20,7 @@ wall time, worker count).
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping, Optional
@@ -28,6 +29,8 @@ LEDGER_NAME = "ledger.jsonl"
 RESULTS_NAME = "results.jsonl"
 SUMMARY_NAME = "summary.json"
 SPEC_NAME = "spec.json"
+#: merged per-run metric snapshot, written only for obs-enabled campaigns
+METRICS_NAME = "metrics.json"
 
 
 @dataclass
@@ -58,6 +61,11 @@ class RunRecord:
     #: from :meth:`deterministic_dict` so ``results.jsonl`` stays
     #: byte-identical to a fully runtime-monitored campaign
     static_proofs: Optional[dict] = None
+    #: per-run observability block (``{"metrics": ..., "trace": ...}``)
+    #: when the campaign ran with ``obs``; ledger-only — popped from
+    #: :meth:`deterministic_dict` like ``static_proofs`` so obs-enabled
+    #: campaigns keep ``results.jsonl`` byte-identical (docs/OBSERVABILITY.md)
+    obs: Optional[dict] = None
     wall_time: float = 0.0
     #: ``"ok"`` or ``"crashed"`` (worker process died / raised); crashed
     #: runs stay in the ledger for the record but are re-executed on resume
@@ -72,6 +80,7 @@ class RunRecord:
         out = self.to_dict()
         out.pop("wall_time", None)
         out.pop("static_proofs", None)
+        out.pop("obs", None)
         return out
 
     def to_dict(self) -> dict:
@@ -96,6 +105,7 @@ class RunRecord:
             "monitors": self.monitors,
             "monitors_ok": self.monitors_ok,
             "static_proofs": self.static_proofs,
+            "obs": self.obs,
             "wall_time": self.wall_time,
             "status": self.status,
             "error": self.error,
@@ -249,8 +259,29 @@ def read_results(path: Path) -> list[RunRecord]:
     return records
 
 
+def percentile(values, fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 when empty).
+
+    Matches the histogram percentiles in :mod:`repro.obs.metrics` so the
+    per-cell ``p50``/``p95`` figures in ``summary.json`` and the campaign
+    metrics snapshot agree on methodology.
+    """
+
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
 def summarize(records: list[RunRecord]) -> dict:
-    """Campaign-level aggregates (deterministic; no wall time)."""
+    """Campaign-level aggregates.
+
+    Everything except the wall-time percentiles is deterministic (a pure
+    function of the deterministic record fields); ``p50_wall_time`` /
+    ``p95_wall_time`` are 0.0 when records were re-read from
+    ``results.jsonl``, which strips wall time.
+    """
 
     def cell_key(record: RunRecord) -> str:
         params = record.params
@@ -285,6 +316,10 @@ def summarize(records: list[RunRecord]) -> dict:
                     mean(r.convergence_time for r in group), 6
                 ),
                 "mean_messages": round(mean(r.messages for r in group), 2),
+                "p50_messages": round(percentile((r.messages for r in group), 0.50), 2),
+                "p95_messages": round(percentile((r.messages for r in group), 0.95), 2),
+                "p50_wall_time": round(percentile((r.wall_time for r in group), 0.50), 6),
+                "p95_wall_time": round(percentile((r.wall_time for r in group), 0.95), 6),
                 "violations": sum(r.violation_count for r in group),
                 "active_violations": sum(r.active_violation_count for r in group),
                 "stale_routes": sum(r.stale_routes or 0 for r in group),

@@ -11,8 +11,10 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from ..obs.metrics import MetricsRegistry
 from .records import (
     LEDGER_NAME,
+    METRICS_NAME,
     RESULTS_NAME,
     SUMMARY_NAME,
     RunRecord,
@@ -83,6 +85,10 @@ def format_summary(out_dir: str | Path) -> str:
             stats["quiescent"],
             f"{stats['mean_convergence_time']:.3f}",
             f"{stats['mean_messages']:.0f}",
+            # percentile columns appeared with the obs work; summaries
+            # written by older campaigns simply show 0
+            f"{stats.get('p95_messages', 0):.0f}",
+            f"{stats.get('p95_wall_time', 0):.3f}",
             stats["violations"],
             stats["active_violations"],
             stats["stale_routes"],
@@ -90,10 +96,73 @@ def format_summary(out_dir: str | Path) -> str:
         for cell, stats in summary["cells"].items()
     ]
     table = _table(
-        ["cell", "runs", "quiesc", "conv(s)", "msgs", "viol", "active", "stale"],
+        [
+            "cell", "runs", "quiesc", "conv(s)", "msgs", "p95msgs",
+            "p95wall(s)", "viol", "active", "stale",
+        ],
         rows,
     )
     return header + "\n\n" + table
+
+
+def format_metrics(out_dir: str | Path) -> str:
+    """The campaign's merged obs metrics as tables (docs/OBSERVABILITY.md).
+
+    Prefers the ``metrics.json`` an obs-enabled campaign writes next to its
+    summary; otherwise merges the per-run obs blocks still in the ledger,
+    so a killed campaign's partial metrics are reportable too.
+    """
+
+    out_dir = Path(out_dir)
+    metrics_path = out_dir / METRICS_NAME
+    if metrics_path.exists():
+        payload = json.loads(metrics_path.read_text())
+    else:
+        ledger = out_dir / LEDGER_NAME
+        if not ledger.exists():
+            raise FileNotFoundError(
+                f"no {METRICS_NAME} or {LEDGER_NAME} in {out_dir} — "
+                "not an obs-enabled campaign directory"
+            )
+        registry = MetricsRegistry()
+        covered = total = 0
+        for record in read_ledger(ledger).values():
+            total += 1
+            if record.obs and record.obs.get("metrics"):
+                covered += 1
+                registry.merge(record.obs["metrics"])
+        payload = {
+            "runs_covered": covered,
+            "runs_total": total,
+            "metrics": registry.snapshot(),
+        }
+    snapshot = payload.get("metrics", {})
+    header = (
+        f"metrics: {payload.get('runs_covered', 0)}/{payload.get('runs_total', 0)} "
+        "runs covered"
+    )
+    counter_rows = [
+        [name, value] for name, value in sorted(snapshot.get("counters", {}).items())
+    ]
+    hist_rows = [
+        [
+            name,
+            h["count"],
+            f"{h['sum']:.6g}",
+            f"{h['p50']:.6g}",
+            f"{h['p95']:.6g}",
+            f"{h['max']:.6g}",
+        ]
+        for name, h in sorted(snapshot.get("histograms", {}).items())
+    ]
+    parts = [header]
+    if counter_rows:
+        parts.append(_table(["counter", "total"], counter_rows))
+    if hist_rows:
+        parts.append(_table(["histogram", "count", "sum", "p50", "p95", "max"], hist_rows))
+    if not counter_rows and not hist_rows:
+        parts.append("no metrics recorded (campaign ran without obs)")
+    return "\n\n".join(parts)
 
 
 def diff_campaigns(dir_a: str | Path, dir_b: str | Path) -> list[str]:

@@ -37,10 +37,13 @@ from ..fvn.monitors import (
     schema_for_program,
 )
 from ..ndlog.ast import MaterializeDecl, Program
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..protocols.pathvector import path_vector_program
 from ..scenarios.generator import Scenario, generate_scenario
 from .records import (
     LEDGER_NAME,
+    METRICS_NAME,
     RESULTS_NAME,
     SPEC_NAME,
     SUMMARY_NAME,
@@ -127,8 +130,15 @@ def _stale_routes(
 CRASH_RUN_ENV = "FVN_FAULT_CRASH_RUN_ID"
 
 
-def execute_run(descriptor_data: dict, static_proofs: bool = False) -> dict:
+def execute_run(
+    descriptor_data: dict, static_proofs: bool = False, obs: bool = False
+) -> dict:
     """Execute one run from its plain-data descriptor (worker entry point).
+
+    With ``obs`` the run executes under the :mod:`repro.obs` metrics
+    registry and tracer and attaches their exports to the record's
+    ledger-only ``obs`` field; every deterministic field — and the trace
+    fingerprint — is byte-identical either way (``docs/OBSERVABILITY.md``).
 
     With ``static_proofs`` the monitor properties are discharged ahead of
     execution (:mod:`repro.ndlog.analysis.discharge`, cached per program ×
@@ -149,6 +159,16 @@ def execute_run(descriptor_data: dict, static_proofs: bool = False) -> dict:
     descriptor = RunDescriptor.from_dict(descriptor_data)
     if os.environ.get(CRASH_RUN_ENV) == descriptor.run_id:
         os._exit(17)
+    if obs:
+        # pool workers are reused across runs: start from a clean slate so
+        # each record's obs block covers exactly its own run
+        obs_metrics.enable()
+        obs_metrics.registry().reset()
+        obs_tracing.enable()
+        obs_tracing.tracer().reset()
+    else:
+        obs_metrics.disable()
+        obs_tracing.disable()
     started = time.perf_counter()
     scenario = _materialize(descriptor)
     program = build_program(descriptor)
@@ -196,6 +216,18 @@ def execute_run(descriptor_data: dict, static_proofs: bool = False) -> dict:
         clean_report(kind) if kind in proven else monitors[kind].report()
         for kind in descriptor.monitors
     ]
+    obs_block: Optional[dict] = None
+    if obs:
+        wall = time.perf_counter() - started
+        obs_metrics.inc("harness.runs")
+        obs_metrics.observe("harness.run_seconds", wall)
+        obs_tracing.tracer().record(
+            "harness.run", started, wall, {"run_id": descriptor.run_id}
+        )
+        obs_block = {
+            "metrics": obs_metrics.registry().export(),
+            "trace": obs_tracing.tracer().export(),
+        }
     record = RunRecord(
         run_id=descriptor.run_id,
         index=descriptor.index,
@@ -217,6 +249,7 @@ def execute_run(descriptor_data: dict, static_proofs: bool = False) -> dict:
         monitors=reports,
         monitors_ok=all(monitor.ok for monitor in monitors.values()),
         static_proofs=provenance,
+        obs=obs_block,
         wall_time=round(time.perf_counter() - started, 6),
     )
     return record.to_dict()
@@ -256,6 +289,7 @@ def _run_pool(
     finish: Callable[[dict], None],
     crashed: Callable[[RunDescriptor, str], dict],
     static_proofs: bool = False,
+    obs: bool = False,
 ) -> None:
     """Drive ``todo`` through process pools, containing worker deaths.
 
@@ -281,8 +315,10 @@ def _run_pool(
             futures = [
                 (
                     descriptor,
-                    pool.submit(execute_run, descriptor.to_dict(), True)
-                    if static_proofs
+                    pool.submit(
+                        execute_run, descriptor.to_dict(), static_proofs, obs
+                    )
+                    if static_proofs or obs
                     else pool.submit(execute_run, descriptor.to_dict()),
                 )
                 for descriptor in batch
@@ -319,6 +355,43 @@ def _run_pool(
         remaining = requeue + deferred
 
 
+def _write_obs_artifacts(
+    out_dir: Path,
+    records: list[RunRecord],
+    campaign_tracer: obs_tracing.Tracer,
+    trace_out: Optional[str | Path],
+) -> None:
+    """Merge per-run obs blocks into campaign-level artifacts.
+
+    ``metrics.json`` holds the merged metric snapshot (runs resumed from a
+    pre-obs ledger carry no block and contribute nothing — the snapshot
+    says how many runs it covers).  ``trace_out`` gets one Chrome
+    trace-event document with a process row per covered run plus the
+    campaign stages; per-process timestamps are relative to each worker's
+    own tracer epoch, so rows align within a run, not across runs.
+    """
+
+    merged = obs_metrics.MetricsRegistry()
+    processes: list[tuple[str, dict]] = [("campaign", campaign_tracer.export())]
+    covered = 0
+    for record in records:
+        if not record.obs:
+            continue
+        covered += 1
+        merged.merge(record.obs.get("metrics") or {})
+        processes.append((record.run_id, record.obs.get("trace") or {}))
+    payload = {
+        "runs_covered": covered,
+        "runs_total": len(records),
+        "metrics": merged.snapshot(),
+    }
+    (out_dir / METRICS_NAME).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    if trace_out is not None:
+        obs_tracing.write_chrome_trace(trace_out, processes)
+
+
 def run_campaign(
     spec: CampaignSpec,
     out_dir: str | Path,
@@ -326,6 +399,7 @@ def run_campaign(
     workers: int = 1,
     resume: bool = True,
     progress: Optional[ProgressCallback] = None,
+    trace_out: Optional[str | Path] = None,
 ) -> CampaignResult:
     """Execute a campaign spec, streaming records to ``out_dir``.
 
@@ -338,6 +412,13 @@ def run_campaign(
     ledger are skipped — crashed records are kept for the audit trail but
     re-executed — so re-invoking a killed campaign continues where it
     stopped; ``resume=False`` discards previous artifacts and starts fresh.
+
+    ``spec.obs`` — or a ``trace_out`` path, which implies it — runs every
+    run under the :mod:`repro.obs` registry/tracer, stores the per-run obs
+    blocks in the ledger, writes a merged ``metrics.json`` next to the
+    summary, and (when ``trace_out`` is set) one Chrome trace-event JSON
+    with a process row per run plus the campaign stages.  ``results.jsonl``
+    stays byte-identical to a plain campaign either way.
     """
 
     out_dir = Path(out_dir)
@@ -365,6 +446,10 @@ def run_campaign(
     }
     todo = [d for d in descriptors if d.run_id not in done]
     resumed = len(descriptors) - len(todo)
+    obs_enabled = spec.obs or trace_out is not None
+    # the campaign stages get their own tracer instance: per-run execution
+    # resets the process-global one (inline runs share this process)
+    campaign_tracer = obs_tracing.Tracer() if obs_enabled else None
     started = time.perf_counter()
     completed = resumed
 
@@ -389,20 +474,40 @@ def run_campaign(
         if workers <= 1:
             for descriptor in todo:
                 try:
-                    # legacy call shape when proofs are off (tests and
-                    # tooling wrap execute_run with a one-argument stub)
-                    if spec.static_proofs:
-                        finish(execute_run(descriptor.to_dict(), True))
+                    # legacy call shape when proofs and obs are off (tests
+                    # and tooling wrap execute_run with a one-argument stub)
+                    if spec.static_proofs or obs_enabled:
+                        finish(
+                            execute_run(
+                                descriptor.to_dict(), spec.static_proofs, obs_enabled
+                            )
+                        )
                     else:
                         finish(execute_run(descriptor.to_dict()))
                 except Exception:
                     finish(crashed(descriptor, traceback.format_exc()))
         else:
-            _run_pool(todo, workers, finish, crashed, spec.static_proofs)
+            _run_pool(todo, workers, finish, crashed, spec.static_proofs, obs_enabled)
 
     records = [done[descriptor.run_id] for descriptor in descriptors]
     wall_time = time.perf_counter() - started
+    if campaign_tracer is not None:
+        campaign_tracer.record(
+            "campaign.execute",
+            started,
+            wall_time,
+            {"runs": len(todo), "resumed": resumed, "workers": workers},
+        )
+    write_started = time.perf_counter()
     write_results(out_dir / RESULTS_NAME, records)
+    if campaign_tracer is not None:
+        campaign_tracer.record(
+            "campaign.write_results",
+            write_started,
+            time.perf_counter() - write_started,
+            {"records": len(records)},
+        )
+        _write_obs_artifacts(out_dir, records, campaign_tracer, trace_out)
     summary = {
         "campaign": spec.name,
         "workers": workers,

@@ -141,6 +141,13 @@ class CampaignSpec:
     #: whose policy algebra discharges its obligations — are skipped at
     #: runtime and recorded as clean, with proof provenance in the ledger
     static_proofs: bool = False
+    #: collect per-run observability blocks (metrics + spans, see
+    #: ``docs/OBSERVABILITY.md``) into the ledger and a campaign
+    #: ``metrics.json``.  Ledger-only: ``results.jsonl`` — and hence every
+    #: fingerprint and diff — stays byte-identical to an ``obs = false``
+    #: campaign.  A shared parameter, not a grid axis, so run ids and
+    #: descriptors are unchanged.
+    obs: bool = False
 
     def __post_init__(self) -> None:
         self.families = tuple(self.families)
@@ -156,6 +163,7 @@ class CampaignSpec:
         self.soft_state = {str(k): float(v) for k, v in dict(self.soft_state).items()}
         self.monitors = tuple(self.monitors)
         self.static_proofs = bool(self.static_proofs)
+        self.obs = bool(self.obs)
         self.validate()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,45 @@
+"""Deterministic observability for the FVN runtime: metrics, tracing, provenance.
+
+Three pillars, one contract — *telemetry observes, never perturbs*:
+
+* :mod:`repro.obs.metrics` — a process-local registry of counters and
+  histograms (rule firings, fixpoint rounds, delta batch sizes, shard
+  round-trips, serving verb latencies, …) with cross-process merge and
+  deterministic snapshots;
+* :mod:`repro.obs.tracing` — wall-clock spans around flush waves, WAL and
+  snapshot writes, and campaign stages, exportable as Chrome trace-event
+  JSON (``fvn-trace``, ``--trace-out``);
+* :mod:`repro.obs.provenance` — on-demand ``explain``/``why_not``:
+  derivation DAGs of stored routes down to base facts, reconstructed from
+  replica tables so evaluation itself carries no extra state.
+
+Enabling any pillar leaves ``Trace.fingerprint()`` and campaign
+``results.jsonl`` byte-identical to a disabled run; the test suite and
+the ``obs-smoke`` CI job enforce this.
+
+Public entry points: the :mod:`~repro.obs.metrics` and
+:mod:`~repro.obs.tracing` modules (re-exported here) plus the lazy
+:func:`explain` / :func:`why_not` wrappers.
+"""
+
+from __future__ import annotations
+
+from . import metrics, tracing
+
+__all__ = ["metrics", "tracing", "explain", "why_not"]
+
+
+def explain(engine, predicate, values, **kwargs):
+    """Lazy wrapper over :func:`repro.obs.provenance.explain`."""
+
+    from .provenance import explain as _explain
+
+    return _explain(engine, predicate, values, **kwargs)
+
+
+def why_not(engine, predicate, values, **kwargs):
+    """Lazy wrapper over :func:`repro.obs.provenance.why_not`."""
+
+    from .provenance import why_not as _why_not
+
+    return _why_not(engine, predicate, values, **kwargs)

@@ -1,0 +1,7 @@
+"""``python -m repro.obs`` — the ``fvn-trace`` CLI entry point."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

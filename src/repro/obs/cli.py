@@ -1,0 +1,94 @@
+"""``fvn-trace`` — inspect Chrome trace-event JSON produced by ``repro.obs``.
+
+A reading aid for traces written by ``fvn-serve --trace-out`` and
+``fvn-campaign run --trace-out``: validates the document shape and prints
+a per-span-name summary table (count, total/mean/max duration) without
+needing a browser.  The heavy lifting — loading the timeline — stays in
+``chrome://tracing`` or Perfetto; this CLI answers "which stage dominates"
+from a terminal.
+
+Usage::
+
+    fvn-trace summary trace.json
+
+Entry point: :func:`main` (console script ``fvn-trace``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def load_trace(path: Path) -> list[dict]:
+    """The complete (``ph: X``) duration events of a trace document."""
+
+    document = json.loads(path.read_text())
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise SystemExit(f"{path}: not a Chrome trace-event document (no traceEvents list)")
+    return [ev for ev in events if ev.get("ph") == "X"]
+
+
+def summarize_trace(events: list[dict]) -> list[dict]:
+    """Per-span-name stats, sorted by total duration descending."""
+
+    stats: dict[str, dict] = {}
+    for event in events:
+        entry = stats.setdefault(event["name"], {"count": 0, "total_us": 0.0, "max_us": 0.0})
+        entry["count"] += 1
+        entry["total_us"] += event.get("dur", 0.0)
+        entry["max_us"] = max(entry["max_us"], event.get("dur", 0.0))
+    rows = []
+    for name, entry in sorted(stats.items(), key=lambda kv: -kv[1]["total_us"]):
+        rows.append(
+            {
+                "name": name,
+                "count": entry["count"],
+                "total_ms": round(entry["total_us"] / 1000, 3),
+                "mean_ms": round(entry["total_us"] / entry["count"] / 1000, 3),
+                "max_ms": round(entry["max_us"] / 1000, 3),
+            }
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="fvn-trace", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    summary = sub.add_parser("summary", help="per-span-name duration summary")
+    summary.add_argument("trace", type=Path, help="Chrome trace-event JSON file")
+    summary.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    try:
+        return _summary(args)
+    except BrokenPipeError:
+        # downstream pipe (e.g. `| head`) closed early; exit quietly
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _summary(args: argparse.Namespace) -> int:
+    events = load_trace(args.trace)
+    rows = summarize_trace(events)
+    if args.json:
+        print(json.dumps({"spans": rows, "events": len(events)}, indent=2))
+        return 0
+    print(f"{args.trace}: {len(events)} duration events")
+    header = f"{'span':<24} {'count':>7} {'total(ms)':>11} {'mean(ms)':>10} {'max(ms)':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['name']:<24} {row['count']:>7} {row['total_ms']:>11.3f} "
+            f"{row['mean_ms']:>10.3f} {row['max_ms']:>9.3f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -122,6 +122,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="boot even if static analysis finds errors (docs/ANALYSIS.md)",
     )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a Chrome trace-event JSON of daemon spans here on shutdown",
+    )
 
     for name, verbs in (("update", UPDATE_VERBS), ("query", QUERY_VERBS)):
         client_parser = sub.add_parser(
@@ -209,6 +214,7 @@ def _serve(args: argparse.Namespace) -> int:
         dedup_cache=args.dedup_cache,
         fault_plan=args.fault_plan,
         allow_unsafe=args.allow_unsafe,
+        trace_out=args.trace_out,
     )
     if args.monitors is not None:
         config.monitors = tuple(

@@ -74,6 +74,10 @@ class ServerConfig:
     #: error-severity diagnostics in the serving program; the default
     #: refuses to serve unsafe programs (see ``docs/ANALYSIS.md``).
     allow_unsafe: bool = False
+    #: Write a Chrome trace-event JSON of the daemon's spans (recovery,
+    #: updates, settles, snapshots — see ``docs/OBSERVABILITY.md``) to this
+    #: path on shutdown (``None`` disables tracing).
+    trace_out: Optional[str] = None
 
     # ------------------------------------------------------------------
     #: fields an operator may change across restarts without invalidating
@@ -85,6 +89,7 @@ class ServerConfig:
         "dedup_cache",
         "fault_plan",
         "allow_unsafe",
+        "trace_out",
     )
 
     def to_dict(self) -> dict:

@@ -48,6 +48,9 @@ QUERY_VERBS = (
     "status",
     "fingerprint",
     "what_if",
+    "explain",
+    "why_not",
+    "metrics",
     "ping",
     "stop",
 )

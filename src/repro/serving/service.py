@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import time
 from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
@@ -45,6 +46,8 @@ from ..dn.events import Event
 from ..fvn.monitors import build_monitor, schema_for_program
 from ..harness.records import append_jsonl, canonical_json, read_jsonl
 from ..ndlog.ast import MaterializeDecl, Program
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..protocols.pathvector import path_vector_program
 from ..scenarios.generator import generate_scenario
 from .checkpoint import (
@@ -117,7 +120,16 @@ class RouteService:
         #: socket front end (None when ``config.fault_plan`` is unset)
         self.fault_injector = load_injector(config.fault_plan)
         self.engine: Optional[DistributedEngine] = None
-        self._boot()
+        # serving always keeps metrics on (they power the ``metrics`` wire
+        # verb and never perturb the fingerprint); tracing costs a span list
+        # so it is opt-in via ``trace_out``
+        obs_metrics.enable()
+        if config.trace_out:
+            obs_tracing.enable()
+        start = time.perf_counter()
+        with obs_tracing.span("serving.recovery"):
+            self._boot()
+        obs_metrics.observe("serving.recovery_seconds", time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Boot and recovery
@@ -266,6 +278,12 @@ class RouteService:
         return snapshot["seq"]
 
     def _write_snapshot(self) -> None:
+        start = time.perf_counter()
+        with obs_tracing.span("serving.snapshot"):
+            self._write_snapshot_inner()
+        obs_metrics.observe("serving.snapshot_seconds", time.perf_counter() - start)
+
+    def _write_snapshot_inner(self) -> None:
         try:
             capture = capture_engine(self.engine)
         except SnapshotUnsupported:
@@ -304,13 +322,16 @@ class RouteService:
         engine = self.engine
         scheduler = engine.scheduler
         budget = self.config.settle_max_events
-        while budget > 0:
-            kinds = scheduler.pending_kinds()
-            if not kinds or kinds <= MAINTENANCE:
-                break
-            head = scheduler.peek_time()
-            processed = scheduler.run(until=head, max_events=budget)
-            budget -= max(processed, 1)
+        start = time.perf_counter()
+        with obs_tracing.span("serving.settle"):
+            while budget > 0:
+                kinds = scheduler.pending_kinds()
+                if not kinds or kinds <= MAINTENANCE:
+                    break
+                head = scheduler.peek_time()
+                processed = scheduler.run(until=head, max_events=budget)
+                budget -= max(processed, 1)
+        obs_metrics.observe("serving.settle_seconds", time.perf_counter() - start)
         self._ensure_expiry_timer()
         trace = engine.trace
         trace.events_processed = scheduler.processed
@@ -349,6 +370,16 @@ class RouteService:
         ``docs/FAULTS.md``.
         """
 
+        obs_metrics.inc("serving.updates")
+        start = time.perf_counter()
+        with obs_tracing.span("serving.update", verb=verb):
+            ack = self._apply_update(verb, args, request_key=request_key)
+        obs_metrics.observe("serving.update_seconds", time.perf_counter() - start)
+        return ack
+
+    def _apply_update(
+        self, verb: str, args: dict, *, request_key: Optional[str] = None
+    ) -> dict:
         if request_key is not None and request_key in self._acks:
             self._acks.move_to_end(request_key)
             ack = dict(self._acks[request_key])
@@ -360,7 +391,9 @@ class RouteService:
             record = {"seq": self.seq + 1, "verb": verb, "args": args}
             if request_key is not None:
                 record["key"] = request_key
+            wal_start = time.perf_counter()
             append_jsonl(self.ledger_path, record)
+            obs_metrics.observe("serving.wal_append_seconds", time.perf_counter() - wal_start)
         ack = self._apply(verb, args)
         if request_key is not None:
             self._remember_ack(request_key, ack)
@@ -438,6 +471,14 @@ class RouteService:
     # Queries
     # ------------------------------------------------------------------
     def query(self, verb: str, args: dict) -> dict:
+        obs_metrics.inc("serving.queries")
+        start = time.perf_counter()
+        try:
+            return self._query(verb, args)
+        finally:
+            obs_metrics.observe("serving.query_seconds", time.perf_counter() - start)
+
+    def _query(self, verb: str, args: dict) -> dict:
         if verb == "ping":
             return {"pong": True, "seq": self.seq, "settled": self.settled}
         if verb == "best_path":
@@ -452,6 +493,12 @@ class RouteService:
             return self._fingerprint()
         if verb == "what_if":
             return self._what_if(args)
+        if verb == "explain":
+            return self._explain(args)
+        if verb == "why_not":
+            return self._why_not(args)
+        if verb == "metrics":
+            return self._metrics()
         raise ProtocolError(f"unknown query verb {verb!r}")
 
     def _best_row(self, src, dst) -> Optional[tuple]:
@@ -539,6 +586,68 @@ class RouteService:
             "events": trace.events_processed,
         }
 
+    def _provenance_target(self, args: dict, *, wildcard: bool) -> tuple[str, list]:
+        """Resolve explain/why_not args to ``(predicate, values)``.
+
+        Either explicit ``predicate`` + ``values`` (``null`` entries are
+        wildcards for ``why_not``), or the ``src``/``dst`` route
+        convenience form targeting the schema's best-route predicate.
+        """
+
+        predicate = args.get("predicate")
+        values = args.get("values")
+        if predicate is None and "src" in args:
+            src, dst = self._node(args, "src"), self._node(args, "dst")
+            if src not in self.engine.nodes or dst not in self.engine.nodes:
+                raise ProtocolError(f"unknown node in provenance query ({src!r}, {dst!r})")
+            predicate = self.schema.best_predicate
+            if wildcard:
+                arity = next(
+                    rule.head.arity
+                    for rule in self.engine.program.rules
+                    if rule.head.predicate == predicate
+                )
+                values = [None] * arity
+                values[self.schema.group_positions[0]] = src
+                values[self.schema.group_positions[1]] = dst
+            else:
+                row = self._best_row(src, dst)
+                values = list(row) if row is not None else None
+                if values is None:
+                    raise ProtocolError(
+                        f"no {predicate} row for ({src!r}, {dst!r}); use why_not"
+                    )
+        if not isinstance(predicate, str) or not isinstance(values, list):
+            raise ProtocolError(
+                "provenance queries need 'predicate' (string) + 'values' (list), "
+                "or 'src' + 'dst'"
+            )
+        return predicate, list(as_tuple(values))
+
+    def _explain(self, args: dict) -> dict:
+        predicate, values = self._provenance_target(args, wildcard=False)
+        dag = self.engine.explain(predicate, values)
+        return {"found": dag["kind"] != "absent", "explanation": dag, "seq": self.seq}
+
+    def _why_not(self, args: dict) -> dict:
+        predicate, values = self._provenance_target(args, wildcard=True)
+        report = self.engine.why_not(predicate, values)
+        report["seq"] = self.seq
+        return report
+
+    def _metrics(self) -> dict:
+        engine = self.engine
+        # fold in whatever the engine has not yet reported (worker-side
+        # executor counters on a sharded engine, run-segment totals)
+        if hasattr(engine, "_collect_worker_metrics"):
+            engine._collect_worker_metrics()
+        engine._record_run_metrics()
+        return {
+            "seq": self.seq,
+            "enabled": obs_metrics.ENABLED,
+            "metrics": obs_metrics.registry().snapshot(),
+        }
+
     def _what_if(self, args: dict) -> dict:
         """Answer a query against a forked engine that has additionally
         applied hypothetical updates; the live engine is untouched."""
@@ -548,7 +657,12 @@ class RouteService:
         if not isinstance(updates, list) or not isinstance(question, dict):
             raise ProtocolError("what_if needs 'updates' (list) and 'query' (object)")
         fork_config = replace(
-            self.config, state_dir=None, shards=1, snapshot_every=0, fault_plan=None
+            self.config,
+            state_dir=None,
+            shards=1,
+            snapshot_every=0,
+            fault_plan=None,
+            trace_out=None,
         )
         fork = RouteService(fork_config)
         try:
@@ -572,3 +686,7 @@ class RouteService:
         if self.engine is not None:
             self.engine.close()
             self.engine = None
+        if self.config.trace_out:
+            obs_tracing.write_chrome_trace(
+                self.config.trace_out, [("serving", obs_tracing.tracer().export())]
+            )

@@ -1,0 +1,116 @@
+"""Harness-level obs: byte-identical ``results.jsonl``, per-run obs
+blocks in the ledger, merged campaign artifacts, and summary percentiles."""
+
+import json
+
+import pytest
+
+from repro.harness.records import METRICS_NAME, RunRecord, percentile, read_ledger
+from repro.harness.runner import execute_run, run_campaign
+from repro.harness.spec import spec_from_mapping
+from repro.obs import metrics, tracing
+
+BASE_SPEC = {
+    "name": "obs-camp",
+    "families": ["tree"],
+    "sizes": [8],
+    "policies": ["none"],
+    "seeds": [0, 1],
+    "churn_events": [1],
+    "loss": [0.0],
+    "until": 10.0,
+}
+
+
+@pytest.fixture(autouse=True)
+def restore_obs_state():
+    metrics_on, tracing_on = metrics.ENABLED, tracing.ENABLED
+    yield
+    metrics.registry().reset()
+    tracing.tracer().reset()
+    (metrics.enable if metrics_on else metrics.disable)()
+    (tracing.enable if tracing_on else tracing.disable)()
+
+
+class TestCampaignObs:
+    def test_results_byte_identical_and_artifacts_written(self, tmp_path):
+        plain = run_campaign(spec_from_mapping(dict(BASE_SPEC)), tmp_path / "plain")
+        trace_path = tmp_path / "trace.json"
+        observed = run_campaign(
+            spec_from_mapping(dict(BASE_SPEC, obs=True)),
+            tmp_path / "obs",
+            trace_out=trace_path,
+        )
+        assert len(observed.records) == len(plain.records) == 2
+
+        plain_bytes = (tmp_path / "plain" / "results.jsonl").read_bytes()
+        obs_bytes = (tmp_path / "obs" / "results.jsonl").read_bytes()
+        assert plain_bytes == obs_bytes
+
+        # every executed run carries an obs block in the ledger...
+        ledgered = read_ledger(tmp_path / "obs" / "ledger.jsonl")
+        for record in ledgered.values():
+            assert record.obs is not None
+            assert record.obs["metrics"]["counters"]["harness.runs"] == 1
+            assert record.obs["trace"]["spans"]
+        # ...merged into metrics.json...
+        merged = json.loads((tmp_path / "obs" / METRICS_NAME).read_text())
+        assert merged["runs_covered"] == 2
+        assert merged["metrics"]["counters"]["harness.runs"] == 2
+        # ...and the Chrome trace has a process row per run + the campaign
+        document = json.loads(trace_path.read_text())
+        labels = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert "campaign" in labels and len(labels) == 3
+        names = {e["name"] for e in document["traceEvents"] if e["ph"] == "X"}
+        assert {"campaign.execute", "harness.run", "engine.run"} <= names
+
+    def test_trace_out_alone_implies_obs(self, tmp_path):
+        run_campaign(
+            spec_from_mapping(dict(BASE_SPEC)),
+            tmp_path / "c",
+            trace_out=tmp_path / "t.json",
+        )
+        assert (tmp_path / "t.json").exists()
+        assert (tmp_path / "c" / METRICS_NAME).exists()
+
+    def test_plain_campaign_writes_no_obs_artifacts(self, tmp_path):
+        run_campaign(spec_from_mapping(dict(BASE_SPEC)), tmp_path / "c")
+        assert not (tmp_path / "c" / METRICS_NAME).exists()
+        for record in read_ledger(tmp_path / "c" / "ledger.jsonl").values():
+            assert record.obs is None
+
+    def test_report_metrics_renders_merged_counters(self, tmp_path):
+        from repro.harness.report import format_metrics
+
+        run_campaign(spec_from_mapping(dict(BASE_SPEC, obs=True)), tmp_path / "c")
+        text = format_metrics(tmp_path / "c")
+        assert "2/2 runs covered" in text
+        assert "harness.runs" in text and "harness.run_seconds" in text
+        # falls back to merging ledger obs blocks when metrics.json is gone
+        (tmp_path / "c" / METRICS_NAME).unlink()
+        assert "harness.runs" in format_metrics(tmp_path / "c")
+
+    def test_execute_run_legacy_one_arg_call(self, tmp_path):
+        descriptor = spec_from_mapping(dict(BASE_SPEC)).expand()[0]
+        record = RunRecord.from_dict(execute_run(descriptor.to_dict()))
+        assert record.status == "ok" and record.obs is None
+
+
+class TestSummaryPercentiles:
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.95) == 0.0
+        assert percentile([7], 0.5) == 7
+        assert percentile(range(1, 101), 0.50) == 50
+        assert percentile(range(1, 101), 0.95) == 95
+
+    def test_summary_cells_carry_percentiles(self, tmp_path):
+        result = run_campaign(spec_from_mapping(dict(BASE_SPEC)), tmp_path / "c")
+        cell = next(iter(result.summary["cells"].values()))
+        for key in ("p50_messages", "p95_messages", "p50_wall_time", "p95_wall_time"):
+            assert key in cell
+        assert cell["p95_messages"] >= cell["p50_messages"] > 0
+        assert cell["p95_wall_time"] >= cell["p50_wall_time"] > 0

@@ -1,0 +1,99 @@
+"""Unit coverage of the :mod:`repro.obs.metrics` registry: the closed
+name catalog, export/merge wire format, deterministic snapshots, and the
+module-level enable gate."""
+
+import pytest
+
+from repro.obs import metrics
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Each test starts disabled with an empty registry and leaves no
+    residue for the rest of the process (the flags are module-global)."""
+
+    was_enabled = metrics.ENABLED
+    metrics.disable()
+    metrics.registry().reset()
+    yield
+    metrics.registry().reset()
+    if was_enabled:
+        metrics.enable()
+    else:
+        metrics.disable()
+
+
+class TestRegistry:
+    def test_unknown_counter_name_rejected(self):
+        registry = metrics.MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown metric"):
+            registry.inc("engine.bogus")
+
+    def test_unknown_histogram_name_rejected(self):
+        registry = metrics.MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown metric"):
+            registry.observe("made.up", 1.0)
+
+    def test_export_round_trips_through_merge(self):
+        a = metrics.MetricsRegistry()
+        a.inc("engine.events", 3)
+        a.observe("engine.fixpoint_rounds", 2)
+        b = metrics.MetricsRegistry()
+        b.inc("engine.events", 4)
+        b.observe("engine.fixpoint_rounds", 5)
+        b.merge(a.export())
+        snap = b.snapshot()
+        assert snap["counters"]["engine.events"] == 7
+        assert snap["histograms"]["engine.fixpoint_rounds"]["count"] == 2
+        assert snap["histograms"]["engine.fixpoint_rounds"]["sum"] == 7
+
+    def test_drain_empties_the_registry(self):
+        registry = metrics.MetricsRegistry()
+        registry.inc("shard.requests")
+        exported = registry.drain()
+        assert exported["counters"] == {"shard.requests": 1}
+        assert registry.export() == {"counters": {}, "values": {}}
+
+    def test_merge_ignores_unknown_names(self):
+        registry = metrics.MetricsRegistry()
+        registry.merge({"counters": {"not.a.metric": 9}, "values": {"nope": [1]}})
+        assert registry.snapshot() == {"counters": {}, "histograms": {}}
+
+    def test_snapshot_percentiles_nearest_rank(self):
+        registry = metrics.MetricsRegistry()
+        for value in range(1, 101):
+            registry.observe("engine.delta_batch_size", value)
+        hist = registry.snapshot()["histograms"]["engine.delta_batch_size"]
+        assert hist["count"] == 100
+        assert hist["min"] == 1 and hist["max"] == 100
+        assert hist["p50"] == 50
+        assert hist["p95"] == 95
+
+    def test_snapshot_single_observation(self):
+        registry = metrics.MetricsRegistry()
+        registry.observe("serving.settle_seconds", 0.25)
+        hist = registry.snapshot()["histograms"]["serving.settle_seconds"]
+        assert hist == {
+            "count": 1, "sum": 0.25, "min": 0.25, "max": 0.25,
+            "p50": 0.25, "p95": 0.25,
+        }
+
+
+class TestModuleGate:
+    def test_disabled_module_helpers_are_no_ops(self):
+        metrics.inc("engine.events")
+        metrics.observe("engine.fixpoint_rounds", 1)
+        assert metrics.registry().export() == {"counters": {}, "values": {}}
+
+    def test_enabled_module_helpers_record(self):
+        metrics.enable()
+        metrics.inc("engine.events", 2)
+        metrics.observe("engine.fixpoint_rounds", 3)
+        snap = metrics.registry().snapshot()
+        assert snap["counters"]["engine.events"] == 2
+        assert snap["histograms"]["engine.fixpoint_rounds"]["count"] == 1
+
+    def test_every_metric_name_is_layer_dotted(self):
+        for name in metrics.METRIC_NAMES:
+            layer, _, stage = name.partition(".")
+            assert layer in {"engine", "shard", "serving", "harness"} and stage

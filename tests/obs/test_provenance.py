@@ -1,0 +1,163 @@
+"""Derivation-DAG well-formedness for ``explain``/``why_not`` — directly
+on an engine and through the serving query verbs."""
+
+import pytest
+
+from repro.dn import DistributedEngine, EngineConfig
+from repro.protocols.pathvector import path_vector_program
+from repro.scenarios import generate_scenario
+from repro.serving import ProtocolError, RouteService, ServerConfig
+
+
+@pytest.fixture(scope="module")
+def engine():
+    scenario = generate_scenario("tree", size=10, seed=0)
+    eng = DistributedEngine(
+        path_vector_program(), scenario.topology, config=EngineConfig(seed=0)
+    )
+    eng.run(until=15.0, extra_facts=scenario.policy_fact_list())
+    yield eng
+    eng.close()
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = RouteService(ServerConfig(family="tree", size=12, snapshot_every=0))
+    yield svc
+    svc.close()
+
+
+def walk(node, visit):
+    visit(node)
+    for derivation in node.get("derivations", ()):
+        for child in derivation["body"]:
+            walk(child, visit)
+
+
+def leaves(node):
+    collected = []
+
+    def visit(n):
+        if not n.get("derivations"):
+            collected.append(n)
+
+    walk(node, visit)
+    return collected
+
+
+class TestExplain:
+    def test_best_path_resolves_to_base_link_facts(self, engine):
+        row = sorted(engine.rows("bestPath"))[0]
+        dag = engine.explain("bestPath", row)
+        assert dag["kind"] == "derived"
+        assert dag["values"] == list(row)
+        assert dag["derivations"]
+        bottom = leaves(dag)
+        assert bottom, "derivation DAG has no leaves"
+        # every leaf is a base fact — and for plain path-vector the only
+        # base predicate in a derivation is the injected link table
+        assert {leaf["kind"] for leaf in bottom} == {"base"}
+        assert {leaf["predicate"] for leaf in bottom} == {"link"}
+
+    def test_every_node_well_formed(self, engine):
+        row = sorted(engine.rows("bestPath"))[0]
+
+        def check(node):
+            assert set(node) >= {"predicate", "values", "kind"}
+            assert node["kind"] in (
+                "base", "derived", "absent", "underivable", "cycle", "depth_limit"
+            )
+            if node["kind"] == "derived":
+                assert node["derivations"]
+                for derivation in node["derivations"]:
+                    assert derivation["rule"] and isinstance(derivation["body"], list)
+
+        walk(engine.explain("bestPath", row), check)
+
+    def test_absent_row_reports_absent(self, engine):
+        dag = engine.explain("bestPath", (0, 1, (0, 99, 1), 123.0))
+        assert dag["kind"] == "absent"
+
+    def test_derivation_cap_truncates(self, engine):
+        row = sorted(engine.rows("path"))[0]
+        dag = engine.explain("path", row, max_derivations=0)
+        assert dag["kind"] in ("derived", "underivable")
+        if dag["kind"] == "underivable":
+            assert dag.get("truncated", 0) >= 1
+
+    def test_base_fact_explains_as_base(self, engine):
+        row = sorted(engine.rows("link"))[0]
+        assert engine.explain("link", row)["kind"] == "base"
+
+
+class TestWhyNot:
+    def test_wildcard_match_reports_present(self, engine):
+        some = sorted(engine.rows("bestPath"))[0]
+        report = engine.why_not("bestPath", (some[0], some[1], None, None))
+        assert report["present"] and report["matching"]
+
+    def test_missing_row_reports_rule_attempts(self, engine):
+        report = engine.why_not("bestPath", (0, 0, None, None))
+        assert not report["present"]
+        assert report["rules"], "no candidate rules reported"
+        for attempt in report["rules"]:
+            if attempt["unifies"]:
+                assert attempt["satisfied_prefix"] <= attempt["body_items"]
+
+    def test_missing_base_fact_names_injection(self, engine):
+        report = engine.why_not("link", (0, 999, None))
+        assert not report["present"]
+        assert "never injected" in report["reason"]
+
+
+class TestServingVerbs:
+    def test_explain_route_form(self, service):
+        best = service.query("best_path", {"src": 0, "dst": 5})
+        assert best["found"]
+        answer = service.query("explain", {"src": 0, "dst": 5})
+        assert answer["found"]
+        dag = answer["explanation"]
+        assert dag["predicate"] == "bestPath"
+        assert {leaf["kind"] for leaf in leaves(dag)} == {"base"}
+
+    def test_explain_explicit_predicate_form(self, service):
+        row = service.query("table", {"predicate": "link"})["rows"][0]
+        answer = service.query(
+            "explain", {"predicate": "link", "values": row}
+        )
+        assert answer["found"] and answer["explanation"]["kind"] == "base"
+
+    def test_explain_absent_route_points_at_why_not(self, service):
+        service.apply_update("link_fail", {"src": 0, "dst": 1})
+        try:
+            missing = service.query("best_path", {"src": 0, "dst": 1})
+            if not missing["found"]:
+                with pytest.raises(ProtocolError, match="why_not"):
+                    service.query("explain", {"src": 0, "dst": 1})
+        finally:
+            service.apply_update("link_restore", {"src": 0, "dst": 1})
+
+    def test_why_not_route_form(self, service):
+        service.apply_update("link_fail", {"src": 0, "dst": 1})
+        try:
+            answer = service.query("why_not", {"src": 0, "dst": 1})
+            assert answer["seq"] == service.seq
+            if service.query("best_path", {"src": 0, "dst": 1})["found"]:
+                assert answer["present"]
+            else:
+                assert not answer["present"]
+                assert answer["rules"]
+        finally:
+            service.apply_update("link_restore", {"src": 0, "dst": 1})
+
+    def test_metrics_verb_snapshot_shape(self, service):
+        service.query("routes", {})
+        answer = service.query("metrics", {})
+        assert answer["enabled"]
+        counters = answer["metrics"]["counters"]
+        assert counters.get("serving.queries", 0) >= 1
+        assert "histograms" in answer["metrics"]
+
+    def test_unknown_node_rejected(self, service):
+        with pytest.raises(ProtocolError, match="unknown node"):
+            service.query("why_not", {"src": 0, "dst": 999})

@@ -1,0 +1,92 @@
+"""Unit coverage of :mod:`repro.obs.tracing`: span capture, the retained-
+span cap, and Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.obs import tracing
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    was_enabled = tracing.ENABLED
+    tracing.disable()
+    tracing.tracer().reset()
+    yield
+    tracing.tracer().reset()
+    if was_enabled:
+        tracing.enable()
+    else:
+        tracing.disable()
+
+
+class TestSpans:
+    def test_disabled_span_records_nothing(self):
+        with tracing.span("engine.run"):
+            pass
+        assert tracing.tracer().export() == {"spans": [], "dropped": 0}
+
+    def test_enabled_span_records_name_duration_args(self):
+        tracing.enable()
+        with tracing.span("engine.flush", node="n3", ops=2):
+            pass
+        exported = tracing.tracer().export()
+        (item,) = exported["spans"]
+        assert item["name"] == "engine.flush"
+        assert item["args"] == {"node": "n3", "ops": 2}
+        assert item["dur"] >= 0 and item["ts"] >= 0
+
+    def test_span_records_even_when_body_raises(self):
+        tracing.enable()
+        with pytest.raises(RuntimeError):
+            with tracing.span("serving.update", verb="link_fail"):
+                raise RuntimeError("boom")
+        assert tracing.tracer().export()["spans"][0]["name"] == "serving.update"
+
+    def test_unknown_span_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown span"):
+            tracing.tracer().record("engine.bogus", 0.0, 1.0, {})
+
+    def test_cap_drops_and_counts(self):
+        tracer = tracing.Tracer(max_spans=2)
+        for _ in range(5):
+            tracer.record("engine.flush", 0.0, 0.001, {})
+        exported = tracer.export()
+        assert len(exported["spans"]) == 2
+        assert exported["dropped"] == 3
+
+
+class TestChromeExport:
+    def test_document_shape(self):
+        tracer = tracing.Tracer()
+        tracer.record("harness.run", 0.0, 0.5, {"run_id": "r0"})
+        doc = tracing.chrome_trace([("run-a", tracer.export())])
+        assert doc["displayTimeUnit"] == "ms"
+        kinds = {event["ph"] for event in doc["traceEvents"]}
+        assert kinds == {"M", "X"}
+        meta = next(e for e in doc["traceEvents"] if e["ph"] == "M")
+        assert meta["name"] == "process_name" and meta["args"] == {"name": "run-a"}
+        span = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert span["name"] == "harness.run" and span["pid"] == meta["pid"]
+
+    def test_processes_get_distinct_pids(self):
+        a, b = tracing.Tracer(), tracing.Tracer()
+        doc = tracing.chrome_trace([("a", a.export()), ("b", b.export())])
+        pids = [e["pid"] for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(pids) == len(set(pids)) == 2
+
+    def test_dropped_counts_aggregate(self):
+        tracer = tracing.Tracer(max_spans=0)
+        tracer.record("engine.run", 0.0, 1.0, {})
+        doc = tracing.chrome_trace([("x", tracer.export())])
+        assert doc["otherData"]["dropped_spans"] == 1
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        tracer = tracing.Tracer()
+        tracer.record("campaign.execute", 0.0, 2.0, {})
+        target = tmp_path / "nested" / "trace.json"
+        written = tracing.write_chrome_trace(target, [("campaign", tracer.export())])
+        assert written == target
+        document = json.loads(target.read_text())
+        assert isinstance(document["traceEvents"], list)
