@@ -67,6 +67,13 @@ def write_results(path: str, current_file: str) -> None:
                 "median": entry.get("median", entry["min"]),
                 "min": entry["min"],
                 "rounds": entry.get("rounds", 1),
+                # benchmark-reported facts (e.g. codegen-vs-plan speedups)
+                # ride along so the trajectory records them, not just time
+                **(
+                    {"extra_info": entry["extra_info"]}
+                    if entry.get("extra_info")
+                    else {}
+                ),
             }
             for name, entry in sorted(data.items())
         },

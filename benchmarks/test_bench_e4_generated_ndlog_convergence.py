@@ -9,6 +9,7 @@ Disagree-style policies (messages, state changes, convergence), plus the
 SPVP view of the same contrast.
 """
 
+import statistics
 import time
 
 import pytest
@@ -20,8 +21,9 @@ from repro.bgp.simulation import SPVPSimulator
 from repro.bgp.spp import disagree, shortest_path_instance
 from repro.dn.engine import DistributedEngine, EngineConfig
 from repro.dn.network import Topology
+from repro.ndlog.seminaive import RuleEngine
 from repro.scenarios import generate_scenario
-from repro.workloads.topologies import random_topology, ring_topology
+from repro.workloads.topologies import full_mesh_topology, random_topology, ring_topology
 
 
 def run_generated_program(topology, policies, *, config=None):
@@ -200,3 +202,85 @@ def test_bench_batched_indexed_vs_pre_pr_engine_tree50(benchmark, experiment_rep
     )
     assert compile_speedup >= 1.5
     assert speedup >= 3.0
+
+
+def test_bench_codegen_vs_compiled_plan_rederivation(benchmark, experiment_report):
+    """The per-rule code-generation tier against the closure-compiled plan
+    tier on a full re-derivation of the generated policy path-vector program
+    over converged state.
+
+    This is the executor's consistency-sweep workload: every rule fires in
+    full (no deltas) against each node's converged database, and almost
+    every derived row is a duplicate of one already stored.  The sweep is
+    therefore pure rule-evaluation work — join enumeration, policy checks,
+    path concatenation — which is exactly what the generated code
+    specializes.  codegen=True must be at least 2x the compiled-plan tier
+    and derive the identical row multiset.
+    """
+
+    program = policy_path_vector_program()
+    meshes = [("K10", 10), ("K14", 14)]
+
+    codegen_engine = RuleEngine(codegen=True)
+    plan_engine = RuleEngine(codegen=False)
+    for rule_engine in (codegen_engine, plan_engine):
+        rule_engine.precompile(program.rules)
+
+    def sweep(rule_engine, dbs):
+        total = 0
+        for db in dbs:
+            for rule in program.rules:
+                total += len(rule_engine.fire_rule_rows(rule, db))
+        return total
+
+    def contrast():
+        results = []
+        for name, n in meshes:
+            topology = full_mesh_topology(n)
+            engine = DistributedEngine(
+                program, topology, config=EngineConfig(max_events=10_000_000)
+            )
+            trace = engine.run(
+                extra_facts=policy_facts(shortest_path_policies(), topology.nodes)
+            )
+            assert trace.quiescent
+            dbs = [node.db for node in engine.nodes.values()]
+            plan_times, codegen_times = [], []
+            plan_total = codegen_total = 0
+            # interleaved repetitions so machine-load drift hits both tiers
+            for _ in range(3):
+                start = time.perf_counter()
+                plan_total = sweep(plan_engine, dbs)
+                plan_times.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                codegen_total = sweep(codegen_engine, dbs)
+                codegen_times.append(time.perf_counter() - start)
+            assert codegen_total == plan_total
+            results.append(
+                (
+                    name,
+                    codegen_total,
+                    statistics.median(plan_times),
+                    statistics.median(codegen_times),
+                )
+            )
+        return results
+
+    results = benchmark.pedantic(contrast, rounds=1, iterations=1)
+    rows = [
+        [name, fired, f"{plan_s*1000:.1f}ms", f"{cg_s*1000:.1f}ms", f"{plan_s/cg_s:.2f}x"]
+        for name, fired, plan_s, cg_s in results
+    ]
+    experiment_report(
+        "E4",
+        ["consistency-sweep re-derivation: generated per-rule code vs compiled plans"]
+        + render_table(
+            ["mesh", "rows fired", "compiled plan", "codegen", "speedup"], rows
+        ).splitlines(),
+    )
+    speedups = [plan_s / cg_s for _, _, plan_s, cg_s in results]
+    benchmark.extra_info["codegen_speedup"] = {
+        name: round(plan_s / cg_s, 2) for name, _, plan_s, cg_s in results
+    }
+    assert max(speedups) >= 2.0
+    assert min(speedups) >= 1.5

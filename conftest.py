@@ -4,10 +4,17 @@ Adds the ``--benchmark-ci`` flag used by the CI benchmark job: after a
 benchmark session it writes per-test timings to a JSON file (default
 ``BENCH_ci.json``) that ``benchmarks/check_regression.py`` compares against
 the committed baseline ``benchmarks/BENCH_baseline.json``.
+
+Also adds ``--update-goldens``: golden-file tests (the NDlog corpus in
+``tests/ndlog/corpus/``) rewrite their pinned expectations instead of
+asserting against them.  Rerun without the flag afterwards and review the
+diff before committing.
 """
 
 import json
 import pathlib
+
+import pytest
 
 
 def pytest_addoption(parser):
@@ -23,6 +30,20 @@ def pytest_addoption(parser):
         default="BENCH_ci.json",
         help="where --benchmark-ci writes its timings (default: BENCH_ci.json)",
     )
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate golden files (corpus parse dumps, emitted codegen "
+        "source) instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    """Whether golden-file tests should rewrite their expectations."""
+
+    return request.config.getoption("--update-goldens")
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -42,6 +63,8 @@ def pytest_sessionfinish(session, exitstatus):
             "median": bench.stats.median,
             "rounds": bench.stats.rounds,
         }
+        if bench.extra_info:
+            results[bench.fullname]["extra_info"] = bench.extra_info
     output = pathlib.Path(config.getoption("--benchmark-ci-output"))
     output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     terminal = config.pluginmanager.get_plugin("terminalreporter")

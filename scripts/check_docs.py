@@ -28,8 +28,9 @@ Two checks:
 5. **Diagnostic-code coverage** — every ``NDL###`` code the static
    analyzer can emit (the ``CODES`` dict in
    ``repro/ndlog/analysis/diagnostics.py``) must be documented in
-   ``docs/ANALYSIS.md``, so ``fvn-lint`` cannot grow undocumented
-   diagnostics.
+   ``docs/ANALYSIS.md``, and every ``--flag`` of the ``fvn-lint`` CLI
+   (``repro/ndlog/analysis/cli.py``) must appear there too, so
+   ``fvn-lint`` cannot grow undocumented diagnostics or flags.
 
 6. **Observability coverage** — every metric in
    ``repro/obs/metrics.py`` (``METRIC_NAMES``) and every span in
@@ -247,6 +248,13 @@ def main() -> int:
                     "docs/ANALYSIS.md"
                 )
                 failures += 1
+        for flag in cli_flags(root / "src" / "repro" / "ndlog" / "analysis" / "cli.py"):
+            if flag not in analysis_md:
+                print(
+                    f"UNDOCUMENTED FLAG: fvn-lint {flag} not mentioned in "
+                    "docs/ANALYSIS.md"
+                )
+                failures += 1
 
     obs_md_path = root / "docs" / "OBSERVABILITY.md"
     if not obs_md_path.exists():
@@ -272,8 +280,8 @@ def main() -> int:
         return 1
     print(
         "docs check: all modules documented, all config fields, serving "
-        "flags, wire verbs, fault kinds, diagnostic codes, and obs "
-        "metric/span names covered"
+        "flags, wire verbs, fault kinds, diagnostic codes, lint flags, "
+        "and obs metric/span names covered"
     )
     return 0
 

@@ -108,6 +108,11 @@ class EngineConfig:
     #: Compile the localized program into cached join plans at load time
     #: (False restores the AST-interpreting evaluation path).
     compile_rules: bool = True
+    #: Lower compiled rules further, to generated Python source executed as
+    #: straight-line nested loops (the fastest tier; effective only with
+    #: ``compile_rules``).  False stops at the closure-compiled join plans.
+    #: All tiers are trace-fingerprint-identical.
+    codegen: bool = True
     #: Propagate base-fact deletions through derived state: link failures,
     #: cost changes, and soft-state expiry retract the derivations they fed
     #: via per-tuple support counts and deletion deltas (False restores the
@@ -202,6 +207,7 @@ class DistributedEngine:
             self.registry,
             use_indexes=self.config.use_indexes,
             compile_rules=self.config.compile_rules,
+            codegen=self.config.codegen,
         )
         # compile the localized program once; every node shares the plans.
         # A sharded coordinator never fires rules itself (its workers each

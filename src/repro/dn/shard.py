@@ -136,6 +136,7 @@ class ShardWorker:
             self.registry,
             use_indexes=config.use_indexes,
             compile_rules=config.compile_rules,
+            codegen=config.codegen,
         )
         self.rule_engine.precompile(self.program.rules)
         self.nodes: dict[NodeId, Node] = {

@@ -73,6 +73,17 @@ class FunctionRegistry:
             raise EvaluationError(f"no interpretation for function {name!r}")
         return self._functions[name](*args)
 
+    def signature(self) -> tuple:
+        """A hashable content signature of the registered interpretations.
+
+        Two registries with equal signatures resolve every function name to
+        the *same callable objects*, so compilation artifacts built against
+        one are valid for the other.  Used as a cache key by the NDlog
+        code-generation backend.
+        """
+
+        return tuple(sorted((name, id(fn)) for name, fn in self._functions.items()))
+
 
 def _add(a, b):
     return a + b

@@ -94,7 +94,9 @@ def aggregate_rows(head: HeadLiteral, rows: Iterable[tuple]) -> list[tuple]:
 
     agg_positions = head.aggregates
     if not agg_positions:
-        return list(dict.fromkeys(tuple(r) for r in rows))
+        # rows are always tuples here (every evaluator tier builds them as
+        # such), so dedup straight through dict.fromkeys without re-wrapping
+        return list(dict.fromkeys(rows))
     for _, agg in agg_positions:
         if agg.function not in AGGREGATE_IMPLS:
             raise NDlogError(f"unknown aggregate function {agg.function!r}")

@@ -8,7 +8,8 @@ Program` and returns an :class:`AnalysisReport` of coded diagnostics (see
 * schema & type inference (NDL1xx),
 * stratification (NDL2xx),
 * location-specifier well-formedness (NDL3xx),
-* monotonicity classification (NDL4xx).
+* monotonicity classification (NDL4xx),
+* code-generation support (NDL5xx: rules falling back off the fast tier).
 
 Static *obligation discharge* — proving campaign monitor properties ahead
 of time with the tactic prover — lives in :mod:`.discharge` and is imported
@@ -21,6 +22,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..ast import Program
+from .codegen_support import check_codegen_support
 from .diagnostics import (
     CODES,
     ERROR,
@@ -50,6 +52,7 @@ __all__ = [
     "Diagnostic",
     "UnsoundConfigWarning",
     "analyze_program",
+    "check_codegen_support",
     "check_locations",
     "check_monotonicity",
     "check_safety",
@@ -77,6 +80,7 @@ def analyze_program(
     report.extend(check_schema(program))
     report.extend(check_stratification(program))
     report.extend(check_locations(program))
+    report.extend(check_codegen_support(program))
     report.monotonicity = classify_monotonicity(program)
     if retract_derivations is False:
         report.extend(check_monotonicity(program, retract_derivations=False))

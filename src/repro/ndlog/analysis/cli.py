@@ -80,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="analyze for an engine with retract_derivations=False (NDL401)",
     )
     parser.add_argument(
+        "--emit-codegen",
+        action="store_true",
+        help="print each program's generated evaluator source (the codegen "
+        "tier's per-rule Python) instead of lint diagnostics",
+    )
+    parser.add_argument(
         "--fail-on",
         choices=("error", "warning", "never"),
         default="error",
@@ -131,6 +137,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except (ParseError, NDlogError) as exc:
             print(f"fvn-lint: {path}: {exc}", file=sys.stderr)
             return 2
+
+    if args.emit_codegen:
+        from ..codegen import emit_program_source
+
+        for name, program in programs:
+            print(f"## codegen: {name}")
+            print(emit_program_source(program))
+        return 0
 
     reports: list[tuple[AnalysisReport, Optional[dict]]] = []
     for name, program in programs:

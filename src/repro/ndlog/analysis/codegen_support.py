@@ -1,0 +1,44 @@
+"""Code-generation support pass (code NDL501).
+
+The engines' fastest evaluator tier (:mod:`repro.ndlog.codegen`) lowers
+each rule to generated Python source; rules the generator cannot lower —
+dead plans (a body literal argument unevaluable at match time), unsafe
+heads, or bodies that cannot be ordered — silently fall back to the
+closure-compiled join plan at load time.  The fallback is behaviourally
+identical but slower, so this pass surfaces it as a warning: operators
+running ``codegen=True`` for throughput learn which rules are not actually
+on the fast tier (and why) before the program ships.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..ast import NDlogError, Program
+from ..codegen import CodegenUnsupported, generate_rule_source
+from .diagnostics import Diagnostic
+
+
+def check_codegen_support(program: Program) -> Iterator[Diagnostic]:
+    """NDL501 warnings for rules the code generator must fall back on."""
+
+    for rule in program.rules:
+        try:
+            generate_rule_source(rule)
+        except CodegenUnsupported as exc:
+            reason = str(exc)
+        except NDlogError as exc:
+            # the rule cannot even be planned (unorderable body); the
+            # safety pass reports the root cause as an error, this pass
+            # records that the codegen tier is not reached either
+            reason = str(exc)
+        else:
+            continue
+        yield Diagnostic(
+            "NDL501",
+            f"rule falls back to the compiled join plan under codegen: "
+            f"{reason}",
+            rule=rule.name,
+            predicate=rule.head.predicate,
+            span=rule.span,
+        )

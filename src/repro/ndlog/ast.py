@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence, Union
 
 from ..logic.formulas import COMPARISONS
-from ..logic.terms import Term, Var
+from ..logic.terms import Const, Func, Term, Var
 
 
 class NDlogError(Exception):
@@ -61,6 +61,38 @@ def _cite(span: Optional["Span"]) -> str:
     error messages so parsed-program failures point at their source."""
 
     return f" (line {span})" if span is not None else ""
+
+
+def render_term(term: Term) -> str:
+    """Render a term in parseable NDlog surface syntax.
+
+    The generic :meth:`Const.__str__` prints Python spellings (``True``,
+    ``inf``) that the parser reads back as a *variable* and a symbol
+    constant respectively; this renderer emits the surface keywords
+    (``true``/``false``/``infinity``) instead, recursing through function
+    applications, so ``parse(str(program))`` round-trips (the property the
+    parser fuzz suite pins).
+    """
+
+    if isinstance(term, Const):
+        value = term.value
+        if value is True:
+            return "true"
+        if value is False:
+            return "false"
+        if isinstance(value, float) and value == float("inf"):
+            return "infinity"
+        return str(term)
+    if isinstance(term, Func) and term.args:
+        if term.name in _INFIX_FUNCS and len(term.args) == 2:
+            left, right = (render_term(a) for a in term.args)
+            return f"({left} {term.name} {right})"
+        inner = ",".join(render_term(a) for a in term.args)
+        return f"{term.name}({inner})"
+    return str(term)
+
+
+_INFIX_FUNCS = {"+", "-", "*", "/"}
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,7 +160,7 @@ class Literal:
         rendered = []
         for i, a in enumerate(self.args):
             prefix = "@" if i == self.location else ""
-            rendered.append(prefix + str(a))
+            rendered.append(prefix + render_term(a))
         body = f"{self.predicate}({','.join(rendered)})"
         return f"!{body}" if self.negated else body
 
@@ -180,7 +212,8 @@ class HeadLiteral:
         rendered = []
         for i, a in enumerate(self.args):
             prefix = "@" if i == self.location else ""
-            rendered.append(prefix + str(a))
+            part = str(a) if isinstance(a, Aggregate) else render_term(a)
+            rendered.append(prefix + part)
         return f"{self.predicate}({','.join(rendered)})"
 
 
@@ -196,7 +229,7 @@ class Assignment:
         return frozenset((self.variable,)) | self.expression.free_vars()
 
     def __str__(self) -> str:
-        return f"{self.variable} = {self.expression}"
+        return f"{self.variable} = {render_term(self.expression)}"
 
 
 @dataclass(frozen=True, slots=True)
@@ -218,7 +251,10 @@ class Condition:
         return self.left.free_vars() | self.right.free_vars()
 
     def __str__(self) -> str:
-        return f"{self.left} {self.op} {self.right}"
+        # the internal spelling of disequality is "/=", which the surface
+        # grammar does not accept — render the parseable "!=" instead
+        op = "!=" if self.op == "/=" else self.op
+        return f"{render_term(self.left)} {op} {render_term(self.right)}"
 
 
 BodyItem = Union[Literal, Assignment, Condition]

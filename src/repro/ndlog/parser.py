@@ -128,6 +128,14 @@ class _TokenStream:
         return self._tokens[i] if i < len(self._tokens) else None
 
     def next(self) -> Token:
+        tok = self.require_peek()
+        self._index += 1
+        return tok
+
+    def require_peek(self) -> Token:
+        """Like :meth:`peek`, but truncated input is a :class:`ParseError`
+        (never an internal assertion — fuzzed text ends mid-clause)."""
+
         tok = self.peek()
         if tok is None:
             last = self._tokens[-1] if self._tokens else None
@@ -136,7 +144,6 @@ class _TokenStream:
                 last.line if last else 0,
                 last.column if last else 0,
             )
-        self._index += 1
         return tok
 
     def expect(self, value: str) -> Token:
@@ -200,8 +207,7 @@ class Parser:
         return program
 
     def _parse_clause(self, program: Program) -> None:
-        tok = self.stream.peek()
-        assert tok is not None
+        tok = self.stream.require_peek()
         if tok.kind != "ident":
             raise ParseError(
                 f"expected a clause, found {tok.value!r}", tok.line, tok.column
@@ -306,8 +312,7 @@ class Parser:
         return HeadLiteral(sys.intern(pred.value), tuple(args), location, span=pred.span)
 
     def _parse_head_arg(self) -> HeadArg:
-        tok = self.stream.peek()
-        assert tok is not None
+        tok = self.stream.require_peek()
         if (
             tok.kind == "ident"
             and tok.value in AGGREGATE_FUNCTIONS
@@ -331,8 +336,7 @@ class Parser:
 
     def _parse_body_item(self) -> BodyItem:
         # negated literal: 'not pred(...)' or '!pred(...)'
-        tok = self.stream.peek()
-        assert tok is not None
+        tok = self.stream.require_peek()
         if tok.value == "!" or (tok.kind == "ident" and tok.value == "not" and self.stream.at_kind("ident", 1) and self.stream.at("(", 2)):
             self.stream.next()
             lit = self._parse_literal()

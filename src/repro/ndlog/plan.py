@@ -32,7 +32,7 @@ from __future__ import annotations
 import operator
 import sys
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, NamedTuple, Optional, Sequence
 
 from ..logic.bmc import DEFAULT_ARITHMETIC, EvaluationError, FunctionRegistry
 from ..logic.terms import Const, Func, Term, Var
@@ -99,9 +99,13 @@ def order_body(rule: Rule) -> list[BodyItem]:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True, slots=True)
-class RuleFiring:
-    """One derived head tuple together with provenance information."""
+class RuleFiring(NamedTuple):
+    """One derived head tuple together with provenance information.
+
+    A ``NamedTuple`` rather than a dataclass: the evaluators allocate one
+    per derived row per pass, and ``tuple.__new__`` construction is several
+    times cheaper than a frozen dataclass ``__init__`` on that path.
+    """
 
     rule: str
     predicate: str
@@ -591,6 +595,22 @@ class CompiledRule:
         incremental under insert-only deltas).
         """
 
+        name = self.name
+        predicate = self.head_predicate
+        location = self.head_location
+        return [
+            RuleFiring(name, predicate, row, location)
+            for row in self.fire_rows(db, view)
+        ]
+
+    def fire_rows(self, db, view=None) -> list[tuple]:
+        """:meth:`fire` without the per-row ``RuleFiring`` wrapping.
+
+        The centralized fixpoint driver consumes this directly — rule name,
+        predicate, and location are constant per rule, so wrapping every
+        derived row there is pure allocation overhead.
+        """
+
         if self._dead:
             return []
         raw: list[tuple] = []
@@ -604,35 +624,18 @@ class CompiledRule:
 
             self._root(env, db, None, -1, build)
         else:
-            # One pass per delta-restricted positive literal; bindings are
-            # deduplicated across passes on the flat binding array itself.
-            seen: set[tuple] = set()
-            add = seen.add
-
+            # One pass per delta-restricted positive literal.  No
+            # binding-level dedup: a binding matched by two delta literals
+            # yields duplicate head rows, which aggregate_rows'
+            # dict.fromkeys collapses — the same way duplicates within a
+            # full pass always have been.
             def build(env: list) -> None:
-                key = tuple(env)
-                try:
-                    if key in seen:
-                        return
-                except TypeError:  # a slot holds an unhashable (list) value
-                    key = tuple(
-                        tuple(v) if isinstance(v, list) else v for v in env
-                    )
-                    if key in seen:
-                        return
-                add(key)
                 append(row_fn(env))
 
             for sid, pred in self._delta_candidates:
                 if pred in view:
                     self._root(env, db, view, sid, build)
-        name = self.name
-        predicate = self.head_predicate
-        location = self.head_location
-        return [
-            RuleFiring(name, predicate, row, location)
-            for row in aggregate_rows(self.head, raw)
-        ]
+        return aggregate_rows(self.head, raw)
 
     def fire_derivations(self, db, view=None) -> list[RuleFiring]:
         """The retraction/counting variant of :meth:`fire`.
@@ -738,10 +741,43 @@ def negation_delta_rules(rule: Rule) -> tuple[tuple[str, Rule], ...]:
     return tuple(variants)
 
 
-def compile_rule(
-    rule: Rule, registry: FunctionRegistry, *, use_indexes: bool = True
-) -> CompiledRule:
-    """Compile one rule into a :class:`CompiledRule` join plan."""
+@dataclass(frozen=True, slots=True)
+class RuleLayout:
+    """The structural join plan of one rule, independent of execution tier.
+
+    Produced by :func:`rule_layout` and consumed by both back ends — the
+    closure compiler here (:func:`compile_rule`) and the source-generating
+    compiler (:mod:`repro.ndlog.codegen`) — so slot assignment, body order,
+    probe-position selection, and check placement are decided exactly once
+    and can never drift between tiers.
+
+    ``specs`` is one tuple per ordered body item:
+
+    * ``("literal", predicate, arity, sid, probe_positions, probe_getters,
+      pre_checks, stores, post_checks)`` — a positive literal.  Checks and
+      stores are ``(_OP_* , position, payload)`` triples; ``_OP_EVAL``
+      payloads are the raw :class:`~repro.logic.terms.Term` (each back end
+      lowers them itself).  ``probe_getters`` pairs ``(slot, const)`` per
+      probe position.
+    * ``("negation", predicate, arg_terms)``
+    * ``("assignment", slot, expression_term, fresh)``
+    * ``("condition", op, left_term, right_term)``
+    """
+
+    rule: Rule
+    specs: tuple[tuple, ...]
+    slots: dict[Var, int]
+    delta_candidates: tuple[tuple[int, str], ...]
+    dead: bool
+
+    def unsafe_head_variables(self) -> list[str]:
+        return sorted(
+            v.name for v in self.rule.head.variables() if v not in self.slots
+        )
+
+
+def rule_layout(rule: Rule) -> RuleLayout:
+    """Compute the tier-independent join-plan structure of ``rule``."""
 
     ordered = order_body(rule)
     slots: dict[Var, int] = {}
@@ -781,8 +817,7 @@ def compile_rule(
                     probe_getters.append((None, arg.value))
                 else:
                     if arg.free_vars() <= bound:
-                        fn = compile_term(arg, slots, registry)
-                        post_checks.append((_OP_EVAL, pos, fn))
+                        post_checks.append((_OP_EVAL, pos, arg))
                     else:
                         # the interpreter rejects every row here (the term is
                         # unevaluable at match time), so the rule derives
@@ -796,46 +831,72 @@ def compile_rule(
                     sid,
                     tuple(probe_positions),
                     tuple(probe_getters),
-                    tuple(pre_checks + stores + post_checks),
-                    tuple(stores + post_checks),
+                    tuple(pre_checks),
+                    tuple(stores),
+                    tuple(post_checks),
                 )
             )
             delta_candidates.append((sid, item.predicate))
             sid += 1
         elif isinstance(item, Literal):
-            arg_fns = tuple(compile_term(a, slots, registry) for a in item.args)
-            specs.append(("negation", item.predicate, arg_fns))
+            specs.append(("negation", item.predicate, tuple(item.args)))
         elif isinstance(item, Assignment):
-            fn = compile_term(item.expression, slots, registry)
             fresh = item.variable not in bound
             slot = slots.setdefault(item.variable, len(slots))
             bound.add(item.variable)
-            specs.append(("assignment", slot, fn, fresh))
+            specs.append(("assignment", slot, item.expression, fresh))
         elif isinstance(item, Condition):
-            compare = comparison_fn(item.op)
-            left_fn = compile_term(item.left, slots, registry)
-            right_fn = compile_term(item.right, slots, registry)
-            specs.append(("condition", compare, left_fn, right_fn))
+            specs.append(("condition", item.op, item.left, item.right))
         else:
             raise NDlogError(f"unsupported body item {item!r}")
+    return RuleLayout(
+        rule, tuple(specs), slots, tuple(delta_candidates), dead
+    )
+
+
+def compile_rule(
+    rule: Rule, registry: FunctionRegistry, *, use_indexes: bool = True
+) -> CompiledRule:
+    """Compile one rule into a :class:`CompiledRule` join plan."""
+
+    layout = rule_layout(rule)
+    slots = layout.slots
+    delta_candidates = layout.delta_candidates
+    dead = layout.dead
+
+    def lower(op: tuple) -> tuple:
+        """Lower an ``_OP_EVAL`` payload from a Term to a compiled closure."""
+
+        if op[0] == _OP_EVAL:
+            return (_OP_EVAL, op[1], compile_term(op[2], slots, registry))
+        return op
 
     chain: Callable = _tail
-    for spec in reversed(specs):
+    for spec in reversed(layout.specs):
         kind = spec[0]
         if kind == "literal":
-            _, pred, arity, lit_sid, positions, getters, scan_ops, probe_ops = spec
+            _, pred, arity, lit_sid, positions, getters, pre, stores, post = spec
+            scan_ops = tuple(lower(op) for op in pre + stores + post)
+            probe_ops = tuple(lower(op) for op in stores + post)
             chain = _make_literal_step(
                 pred, arity, lit_sid, positions, getters, scan_ops, probe_ops,
                 use_indexes, chain,
             )
         elif kind == "negation":
-            _, pred, arg_fns = spec
+            _, pred, arg_terms = spec
+            arg_fns = tuple(
+                compile_term(a, slots, registry) for a in arg_terms
+            )
             chain = _make_negation_step(pred, arg_fns, chain)
         elif kind == "assignment":
-            _, slot, fn, fresh = spec
+            _, slot, expression, fresh = spec
+            fn = compile_term(expression, slots, registry)
             chain = _make_assignment_step(slot, fn, fresh, chain)
         else:
-            _, compare, left_fn, right_fn = spec
+            _, op, left, right = spec
+            compare = comparison_fn(op)
+            left_fn = compile_term(left, slots, registry)
+            right_fn = compile_term(right, slots, registry)
             chain = _make_condition_step(compare, left_fn, right_fn, chain)
 
     if dead:

@@ -45,6 +45,7 @@ from .ast import (
     Program,
     Rule,
 )
+from .codegen import CodegenRule, CodegenUnsupported, codegen_rule
 from .functions import builtin_registry
 from .plan import (  # noqa: F401  (re-exported: public API of this module)
     NEGATION_DELTA_SUFFIX,
@@ -116,9 +117,17 @@ class DeltaIndex:
     def rows(self, predicate: str) -> Sequence[tuple]:
         return self._rows.get(predicate, ())
 
-    def probe(
-        self, predicate: str, positions: tuple[int, ...], values: tuple
-    ) -> Sequence[tuple]:
+    def groups(
+        self, predicate: str, positions: tuple[int, ...]
+    ) -> dict[tuple, list[tuple]]:
+        """The grouped rows of ``predicate`` keyed by ``positions``.
+
+        Built on first use and cached for the pass.  Raises ``TypeError``
+        when a row holds an unhashable value at a grouped position (callers
+        fall back to scanning ``rows``, exactly like stored-table probes).
+        The generated-code tier hoists this dict out of its probe loops.
+        """
+
         key = (predicate, positions)
         groups = self._groups.get(key)
         if groups is None:
@@ -128,7 +137,12 @@ class DeltaIndex:
                     continue
                 groups.setdefault(tuple(row[p] for p in positions), []).append(row)
             self._groups[key] = groups
-        return groups.get(tuple(values), ())
+        return groups
+
+    def probe(
+        self, predicate: str, positions: tuple[int, ...], values: tuple
+    ) -> Sequence[tuple]:
+        return self.groups(predicate, positions).get(tuple(values), ())
 
 
 class RuleEngine:
@@ -147,6 +161,14 @@ class RuleEngine:
     index positions are selected automatically from each rule's join
     pattern; ``use_indexes=False`` keeps the original scan-join behaviour
     (used as the reference in property tests and benchmarks).
+
+    With ``codegen`` (the default, effective only when ``compile_rules`` is
+    on) each rule is lowered further, to specialized Python source executed
+    as straight-line nested loops (:mod:`repro.ndlog.codegen`); rules the
+    generator cannot lower fall back to the closure-compiled plan.  All
+    three tiers — interpreter, compiled plan, generated code — are
+    behaviourally identical and cross-checked by the differential
+    conformance suite.
     """
 
     def __init__(
@@ -155,14 +177,16 @@ class RuleEngine:
         *,
         use_indexes: bool = True,
         compile_rules: bool = True,
+        codegen: bool = True,
     ) -> None:
         self.registry = registry or builtin_registry()
         self.use_indexes = use_indexes
         self.compile_rules = compile_rules
+        self.codegen = codegen and compile_rules
         # All caches key by rule identity and retain the rule object so a
         # recycled id() can never alias a stale entry.
         self._order_cache: dict[int, tuple[Rule, list[BodyItem]]] = {}
-        self._plan_cache: dict[int, CompiledRule] = {}
+        self._plan_cache: dict[int, tuple[Rule, CompiledRule | CodegenRule]] = {}
         self._negation_cache: dict[int, tuple[Rule, tuple[tuple[str, Rule], ...]]] = {}
 
     # ------------------------------------------------------------------
@@ -182,13 +206,36 @@ class RuleEngine:
             else:
                 self._ordered_body(rule)
 
-    def plan_for(self, rule: Rule) -> CompiledRule:
-        """The cached compiled join plan for ``rule`` (compiled on first use)."""
+    def plan_for(self, rule: Rule) -> CompiledRule | CodegenRule:
+        """The cached execution plan for ``rule`` (compiled on first use).
 
-        compiled = self._plan_cache.get(id(rule))
-        if compiled is None or compiled.rule is not rule:
-            compiled = compile_rule(rule, self.registry, use_indexes=self.use_indexes)
-            self._plan_cache[id(rule)] = compiled
+        On the ``codegen`` tier this is a :class:`CodegenRule` built from
+        generated source, falling back to the closure-compiled
+        :class:`CompiledRule` for rules the generator cannot lower (dead
+        plans, unsafe heads — the fallback reproduces their reference
+        behaviour exactly).
+        """
+
+        entry = self._plan_cache.get(id(rule))
+        if entry is not None and entry[0] is rule:
+            return entry[1]
+        # the entry pins the exact rule object it was built for: holding the
+        # reference keeps id(rule) from being recycled, and the identity
+        # check stays valid even when the codegen cache returns a shared
+        # CodegenRule built from a structurally-equal rule instance
+        compiled: CompiledRule | CodegenRule | None = None
+        if self.codegen:
+            try:
+                compiled = codegen_rule(
+                    rule, self.registry, use_indexes=self.use_indexes
+                )
+            except CodegenUnsupported:
+                compiled = None
+        if compiled is None:
+            compiled = compile_rule(
+                rule, self.registry, use_indexes=self.use_indexes
+            )
+        self._plan_cache[id(rule)] = (rule, compiled)
         return compiled
 
     def negation_variants(self, rule: Rule) -> tuple[tuple[str, Rule], ...]:
@@ -400,6 +447,27 @@ class RuleEngine:
             RuleFiring(rule.name, head.predicate, row, head.location) for row in rows
         ]
 
+    def fire_rule_rows(
+        self,
+        rule: Rule,
+        db: Database,
+        *,
+        delta: Optional[Mapping[str, Iterable[tuple]]] = None,
+    ) -> list[tuple]:
+        """:meth:`fire_rule` returning bare head rows.
+
+        The centralized fixpoint driver calls this instead of
+        :meth:`fire_rule` — per-rule constants (name, predicate, location)
+        make the ``RuleFiring`` wrapper pure allocation overhead there.
+        """
+
+        if self.compile_rules:
+            view = None
+            if delta is not None:
+                view = delta if isinstance(delta, DeltaIndex) else DeltaIndex(delta)
+            return self.plan_for(rule).fire_rows(db, view)
+        return [firing.values for firing in self.fire_rule(rule, db, delta=delta)]
+
     def derive(
         self,
         rule: Rule,
@@ -471,11 +539,15 @@ class Evaluator:
         registry: Optional[FunctionRegistry] = None,
         use_indexes: bool = True,
         compile_rules: bool = True,
+        codegen: bool = True,
     ) -> None:
         program.check()
         self.program = program
         self.engine = RuleEngine(
-            registry, use_indexes=use_indexes, compile_rules=compile_rules
+            registry,
+            use_indexes=use_indexes,
+            compile_rules=compile_rules,
+            codegen=codegen,
         )
         self.stratification: Stratification = stratify(program)
         # Per-program execution state (join plans / body orders) is built
@@ -513,13 +585,17 @@ class Evaluator:
             # Aggregate rules read lower strata only (enforced by stratify),
             # so one evaluation pass at stratum entry suffices.
             for rule in aggregate_rules:
-                for firing in self.engine.fire_rule(rule, db):
-                    stats.firings += 1
-                    if db.insert(firing.predicate, firing.values):
-                        stats.derived_tuples += 1
-                        stats.per_predicate[firing.predicate] = (
-                            stats.per_predicate.get(firing.predicate, 0) + 1
-                        )
+                rows = self.engine.fire_rule_rows(rule, db)
+                if not rows:
+                    continue
+                stats.firings += len(rows)
+                predicate = rule.head.predicate
+                changed = db.table(predicate).insert_many(rows)
+                if changed:
+                    stats.derived_tuples += len(changed)
+                    stats.per_predicate[predicate] = (
+                        stats.per_predicate.get(predicate, 0) + len(changed)
+                    )
             # Semi-naive fixpoint over the remaining rules.
             delta: dict[str, set[tuple]] = {
                 p: set(db.rows(p)) for p in db.predicates() if db.rows(p)
@@ -532,15 +608,24 @@ class Evaluator:
                 new_delta: dict[str, set[tuple]] = {}
                 view = None if first_round else DeltaIndex(delta)
                 for rule in plain_rules:
-                    firings = self.engine.fire_rule(rule, db, delta=view)
-                    for firing in firings:
-                        stats.firings += 1
-                        if db.insert(firing.predicate, firing.values):
-                            stats.derived_tuples += 1
-                            stats.per_predicate[firing.predicate] = (
-                                stats.per_predicate.get(firing.predicate, 0) + 1
-                            )
-                            new_delta.setdefault(firing.predicate, set()).add(firing.values)
+                    rows = self.engine.fire_rule_rows(rule, db, delta=view)
+                    if not rows:
+                        continue
+                    stats.firings += len(rows)
+                    predicate = rule.head.predicate
+                    changed = db.table(predicate).insert_many(rows)
+                    if changed:
+                        # the delta bucket is created on genuinely new tuples
+                        # only — an empty delta set would keep the fixpoint
+                        # loop spinning
+                        bucket = new_delta.get(predicate)
+                        if bucket is None:
+                            bucket = new_delta[predicate] = set()
+                        bucket.update(changed)
+                        stats.derived_tuples += len(changed)
+                        stats.per_predicate[predicate] = (
+                            stats.per_predicate.get(predicate, 0) + len(changed)
+                        )
                 delta = new_delta
                 first_round = False
         return db, stats
@@ -606,12 +691,16 @@ class IncrementalEvaluator:
         registry: Optional[FunctionRegistry] = None,
         use_indexes: bool = True,
         compile_rules: bool = True,
+        codegen: bool = True,
         max_rounds: int = 100_000,
     ) -> None:
         program.check()
         self.program = program
         self.engine = RuleEngine(
-            registry, use_indexes=use_indexes, compile_rules=compile_rules
+            registry,
+            use_indexes=use_indexes,
+            compile_rules=compile_rules,
+            codegen=codegen,
         )
         self.stratification: Stratification = stratify(program)
         self.recursive_predicates = DependencyGraph(program).recursive_predicates()
@@ -987,6 +1076,7 @@ def evaluate(
     registry: Optional[FunctionRegistry] = None,
     use_indexes: bool = True,
     compile_rules: bool = True,
+    codegen: bool = True,
 ) -> Database:
     """Convenience wrapper: evaluate and return just the database."""
 
@@ -995,5 +1085,6 @@ def evaluate(
         registry=registry,
         use_indexes=use_indexes,
         compile_rules=compile_rules,
+        codegen=codegen,
     ).run(extra_facts)
     return db

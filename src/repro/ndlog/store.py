@@ -53,9 +53,14 @@ def _make_key_getter(keys: tuple[int, ...]) -> Callable[[Sequence[object]], tupl
     return operator.itemgetter(*keys)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class StoredTuple:
-    """A tuple plus its bookkeeping (insertion time, expiry time)."""
+    """A tuple plus its bookkeeping (insertion time, expiry time).
+
+    Deliberately not frozen: one is allocated per upsert on the evaluators'
+    insert path, and a frozen dataclass pays ``object.__setattr__`` per
+    field there.  Treat instances as immutable regardless.
+    """
 
     values: tuple
     inserted_at: float = 0.0
@@ -143,12 +148,23 @@ class Table:
         row = tuple(values)
         key = self._key_getter(row)
         lifetime = self.lifetime
-        expires = now + lifetime if lifetime != _INF else _INF
         existing = self._rows.get(key)
+        if existing is not None and existing.values == row:
+            # another support for the same row (a duplicate derivation or a
+            # soft-state re-announcement): count it, and rewrite the stored
+            # bookkeeping only when it would actually change (the fixpoint
+            # drivers re-insert every re-derived row, so this is hot)
+            self._counts[key] = self._counts.get(key, 0) + 1
+            if lifetime != _INF or existing.inserted_at != now:
+                expires = now + lifetime if lifetime != _INF else _INF
+                self._rows[key] = StoredTuple(row, now, expires)
+            return False, existing.values
+        expires = now + lifetime if lifetime != _INF else _INF
         self._rows[key] = StoredTuple(row, now, expires)
+        self._counts[key] = 1
         if existing is None:
-            self._counts[key] = 1
-            self._index_add(key, row)
+            if self._indexes:
+                self._index_add(key, row)
             if len(self._rows) > self.max_size:
                 # FIFO eviction of the oldest entry that is not the new one
                 oldest_key = next(iter(self._rows))
@@ -157,18 +173,60 @@ class Table:
                     self._counts.pop(oldest_key, None)
                     self._index_remove(oldest_key, evicted.values)
             return True, None
-        if existing.values == row:
-            # another support for the same row (a duplicate derivation or a
-            # soft-state re-announcement): count it
-            self._counts[key] = self._counts.get(key, 0) + 1
-            return False, existing.values
         # key re-bound to different values: the new row starts a fresh
         # support count (the caller is responsible for retracting the
         # displaced row's consequences when retraction semantics are on)
-        self._counts[key] = 1
         self._index_remove(key, existing.values)
         self._index_add(key, row)
         return True, existing.values
+
+    def insert_many(
+        self, rows: Iterable[Sequence[object]], now: float = 0.0
+    ) -> list[tuple]:
+        """Bulk :meth:`insert`; returns the rows that changed the table.
+
+        One attribute-resolution pass for the whole batch instead of a
+        method call (and result-tuple allocation) per row — this is the
+        fixpoint drivers' commit path, which every derived row crosses once
+        per evaluation round.
+        """
+
+        _rows = self._rows
+        counts = self._counts
+        key_getter = self._key_getter
+        lifetime = self.lifetime
+        is_inf = lifetime == _INF
+        expires = _INF if is_inf else now + lifetime
+        indexes = self._indexes
+        max_size = self.max_size
+        changed: list[tuple] = []
+        append = changed.append
+        for values in rows:
+            row = tuple(values)
+            key = key_getter(row)
+            existing = _rows.get(key)
+            if existing is not None and existing.values == row:
+                counts[key] = counts.get(key, 0) + 1
+                if not is_inf or existing.inserted_at != now:
+                    _rows[key] = StoredTuple(row, now, expires)
+                continue
+            _rows[key] = StoredTuple(row, now, expires)
+            counts[key] = 1
+            if existing is None:
+                if indexes:
+                    self._index_add(key, row)
+                if len(_rows) > max_size:
+                    # FIFO eviction of the oldest entry that is not the new one
+                    oldest_key = next(iter(_rows))
+                    if oldest_key != key:
+                        evicted = _rows.pop(oldest_key)
+                        counts.pop(oldest_key, None)
+                        self._index_remove(oldest_key, evicted.values)
+            else:
+                self._index_remove(key, existing.values)
+                self._index_add(key, row)
+            append(row)
+        return changed
 
     def current(self, values: Sequence[object]) -> Optional[tuple]:
         """The row currently stored under the key of ``values``, if any."""
@@ -280,7 +338,7 @@ class Table:
     def _bucket_key(row: tuple, positions: tuple[int, ...]) -> Optional[tuple]:
         if positions and positions[-1] >= len(row):
             return None  # row too short to ever match a literal of this shape
-        key = tuple(row[p] for p in positions)
+        key = tuple(map(row.__getitem__, positions))
         try:
             hash(key)
         except TypeError:
@@ -292,18 +350,35 @@ class Table:
         return key
 
     def _index_add(self, key: tuple, row: tuple) -> None:
+        # hot path (once per stored row per index): the bucket key is built
+        # with map() and its hashability checked by the dict probe itself,
+        # instead of going through _bucket_key + setdefault
+        n = len(row)
+        getitem = row.__getitem__
         for positions, buckets in self._indexes.items():
-            bucket_key = self._bucket_key(row, positions)
-            if bucket_key is None:
+            if positions and positions[-1] >= n:
                 continue
-            buckets.setdefault(bucket_key, {})[key] = row
+            bucket_key = tuple(map(getitem, positions))
+            try:
+                bucket = buckets.get(bucket_key)
+            except TypeError:
+                continue  # unhashable at an indexed position: stays out
+            if bucket is None:
+                buckets[bucket_key] = {key: row}
+            else:
+                bucket[key] = row
 
     def _index_remove(self, key: tuple, row: tuple) -> None:
+        n = len(row)
+        getitem = row.__getitem__
         for positions, buckets in self._indexes.items():
-            bucket_key = self._bucket_key(row, positions)
-            if bucket_key is None:
+            if positions and positions[-1] >= n:
                 continue
-            bucket = buckets.get(bucket_key)
+            bucket_key = tuple(map(getitem, positions))
+            try:
+                bucket = buckets.get(bucket_key)
+            except TypeError:
+                continue
             if bucket is not None:
                 bucket.pop(key, None)
                 if not bucket:
@@ -430,6 +505,16 @@ class Database:
 
     def has_table(self, predicate: str) -> bool:
         return predicate in self._tables
+
+    def get_table(self, predicate: str) -> Optional[Table]:
+        """The predicate's table if one exists, else ``None``.
+
+        Unlike :meth:`table` this never materializes an empty table; the
+        generated-code tier uses it to hoist ``index_on`` lookups out of
+        its probe loops.
+        """
+
+        return self._tables.get(predicate)
 
     def insert(self, predicate: str, values: Sequence[object], now: float = 0.0) -> bool:
         return self.table(predicate).insert(values, now)

@@ -8,6 +8,7 @@ from .events import (
 )
 from .topologies import (
     as_hierarchy_topology,
+    full_mesh_topology,
     grid_topology,
     labeled_edges,
     line_topology,
@@ -21,6 +22,7 @@ __all__ = [
     "WorkloadEvent",
     "WorkloadScript",
     "as_hierarchy_topology",
+    "full_mesh_topology",
     "grid_topology",
     "labeled_edges",
     "line_topology",

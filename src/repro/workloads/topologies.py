@@ -43,6 +43,22 @@ def star_topology(n: int, *, cost: float = 1.0, delay: float = 0.01) -> Topology
     return topo
 
 
+def full_mesh_topology(n: int, *, cost: float = 1.0, delay: float = 0.01) -> Topology:
+    """A complete graph on ``n`` nodes (every pair directly linked).
+
+    Dense meshes maximize join fan-in per evaluation round, which is what
+    the code-generation contrast benchmarks use: with uniform link ``cost``
+    above 1, most candidate route extensions overshoot the bounded metric
+    and are rejected inside the rule body — pure rule-evaluation work.
+    """
+
+    topo = Topology(default_delay=delay)
+    for i in range(n):
+        for j in range(i + 1, n):
+            topo.add_link(i, j, cost=cost)
+    return topo
+
+
 def grid_topology(rows: int, cols: int, *, cost: float = 1.0, delay: float = 0.01) -> Topology:
     """A rows×cols grid; node ids are (row, col) tuples."""
 
